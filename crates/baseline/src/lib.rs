@@ -1,0 +1,27 @@
+//! # nexuspp-baseline — comparison systems
+//!
+//! Nexus++ is motivated by the limitations of two prior systems, both of
+//! which are modeled here:
+//!
+//! * [`classic`] — the original **Nexus** (Meenderinck & Juurlink, DSD
+//!   2010): hash-table-based hardware task management with a *fixed* limit
+//!   on parameters per task (5) and a *fixed* Kick-Off List with no dummy-
+//!   entry extension, plus a 3-table design that performs more lookups per
+//!   operation. The model classifies workloads as supported/unsupported
+//!   (Gaussian elimination is the paper's flagship unsupported case) and
+//!   counts the extra lookups Nexus++ §III-B claims to save.
+//! * [`software_rts`] — the **software StarSs runtime** whose bottleneck
+//!   motivates hardware task management in the first place ("the RTS
+//!   cannot compute task dependencies and attend to finished tasks fast
+//!   enough to keep all worker cores busy"): every submission and
+//!   completion is serialized on the master core at software cost.
+//! * [`ideal`] — a zero-overhead list scheduler: the upper bound any task
+//!   manager can approach for a given task graph and core count.
+
+pub mod classic;
+pub mod ideal;
+pub mod software_rts;
+
+pub use classic::{classic_check, ClassicLimits, ClassicVerdict};
+pub use ideal::ideal_makespan;
+pub use software_rts::{simulate_software_rts, SoftwareRtsConfig};

@@ -1,0 +1,77 @@
+//! Criterion microbenchmarks of the Dependence Table: the structure whose
+//! access counts set the Task Maestro's per-task latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nexuspp_core::table::DepTable;
+use nexuspp_core::{NexusConfig, TdIndex};
+use nexuspp_trace::AccessMode;
+
+fn cfg(entries: usize, kick: usize) -> NexusConfig {
+    NexusConfig {
+        dep_table_entries: entries,
+        kickoff_entries: kick,
+        ..Default::default()
+    }
+}
+
+fn bench_dep_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dep_table");
+    g.sample_size(30);
+    // Insert + delete cycles at Table IV size, low occupancy.
+    g.bench_function("insert_delete_4k", |b| {
+        b.iter_batched(
+            || DepTable::new(&cfg(4096, 8)),
+            |mut t| {
+                for a in 0..256u64 {
+                    t.check_param(TdIndex(a as u32), 0x1000 + a * 64, 8, AccessMode::Out)
+                        .unwrap();
+                }
+                for a in 0..256u64 {
+                    t.finish_param(0x1000 + a * 64, AccessMode::Out);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Same work through a crowded table (longer chains — the Fig 6 effect).
+    g.bench_function("insert_delete_crowded_512", |b| {
+        b.iter_batched(
+            || DepTable::new(&cfg(512, 8)),
+            |mut t| {
+                for a in 0..256u64 {
+                    t.check_param(TdIndex(a as u32), 0x1000 + a * 64, 8, AccessMode::Out)
+                        .unwrap();
+                }
+                for a in 0..256u64 {
+                    t.finish_param(0x1000 + a * 64, AccessMode::Out);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Kick-off fan-out: one producer, 64 queued waiters (dummy entries).
+    g.bench_function("fanout_64_waiters", |b| {
+        b.iter_batched(
+            || {
+                let mut t = DepTable::new(&cfg(4096, 8));
+                t.check_param(TdIndex(0), 0xAA00, 8, AccessMode::Out).unwrap();
+                t
+            },
+            |mut t| {
+                for i in 1..=64u32 {
+                    t.check_param(TdIndex(i), 0xAA00, 8, AccessMode::In).unwrap();
+                }
+                let woken = t.finish_param(0xAA00, AccessMode::Out);
+                assert_eq!(woken.woken.len(), 64);
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dep_table);
+criterion_main!(benches);

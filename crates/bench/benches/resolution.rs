@@ -1,0 +1,70 @@
+//! End-to-end dependency-resolution throughput: the full engine
+//! (admit + check + finish) against the reference oracle resolver, over
+//! the paper's wavefront workload. This is the software-side measurement
+//! behind the §III-B "fewer and simpler tables" efficiency claim.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nexuspp_core::oracle::OracleResolver;
+use nexuspp_core::{DependencyEngine, NexusConfig};
+use nexuspp_workloads::{GridPattern, GridSpec};
+
+fn bench_resolution(c: &mut Criterion) {
+    let trace = GridSpec::small(40, 30).generate(GridPattern::Wavefront);
+    let mut g = c.benchmark_group("resolution");
+    g.sample_size(25);
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+
+    g.bench_function("engine_wavefront_1200", |b| {
+        b.iter_batched(
+            || DependencyEngine::new(&NexusConfig::default()),
+            |mut e| {
+                let mut ready = Vec::new();
+                for t in &trace.tasks {
+                    // Keep the in-flight window inside the 1K pool
+                    // (steady-state behaviour of the real machine).
+                    while e.in_flight() >= 512 {
+                        let td = ready.pop().expect("wavefront window always has ready tasks");
+                        ready.extend(e.finish(td).newly_ready);
+                    }
+                    let (td, r) = e.submit(t.fptr, t.id, t.params.clone()).unwrap();
+                    if r {
+                        ready.push(td);
+                    }
+                }
+                while let Some(td) = ready.pop() {
+                    ready.extend(e.finish(td).newly_ready);
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("oracle_wavefront_1200", |b| {
+        b.iter_batched(
+            OracleResolver::new,
+            |mut o| {
+                let mut ready = Vec::new();
+                for t in &trace.tasks {
+                    while o.submitted() - o.finished() >= 512 {
+                        let id = ready.pop().expect("wavefront window always has ready tasks");
+                        ready.extend(o.finish(id));
+                    }
+                    let (id, r) = o.submit(&t.params);
+                    if r {
+                        ready.push(id);
+                    }
+                }
+                while let Some(id) = ready.pop() {
+                    ready.extend(o.finish(id));
+                }
+                o
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Task Machine simulation throughput: how fast the full-system model
+//! itself runs (simulated tasks per wall-clock second). Relevant because
+//! Figure 8's full sweep simulates 12.5 M-task workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nexuspp_taskmachine::{simulate, simulate_trace, MachineConfig};
+use nexuspp_workloads::{GaussianSpec, GridPattern, GridSpec};
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(15);
+
+    let wavefront = GridSpec::default().generate(GridPattern::Wavefront);
+    g.throughput(Throughput::Elements(wavefront.len() as u64));
+    g.bench_function("wavefront_8160_tasks_32w", |b| {
+        b.iter(|| simulate_trace(MachineConfig::with_workers(32), &wavefront).unwrap())
+    });
+
+    let gauss = GaussianSpec::new(250);
+    g.throughput(Throughput::Elements(gauss.task_count()));
+    g.bench_function("gaussian250_31374_tasks_16w_streamed", |b| {
+        b.iter(|| {
+            let mut src = gauss.source();
+            simulate(MachineConfig::with_workers(16), &mut src).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the Task Pool: descriptor allocation,
+//! dummy-task chaining and retirement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nexuspp_core::pool::TaskPool;
+use nexuspp_core::NexusConfig;
+use nexuspp_trace::Param;
+
+fn params(n: usize, base: u64) -> Vec<Param> {
+    (0..n).map(|i| Param::input(base + i as u64 * 8, 4)).collect()
+}
+
+fn bench_task_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task_pool");
+    g.sample_size(30);
+    g.bench_function("admit_retire_3param", |b| {
+        b.iter_batched(
+            || TaskPool::new(&NexusConfig::default()),
+            |mut pool| {
+                let mut tds = Vec::with_capacity(512);
+                for t in 0..512u64 {
+                    tds.push(pool.admit(1, t, params(3, t * 0x100)).unwrap().0);
+                }
+                for td in tds {
+                    pool.retire(td);
+                }
+                pool
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("admit_retire_20param_dummy_chain", |b| {
+        b.iter_batched(
+            || TaskPool::new(&NexusConfig::default()),
+            |mut pool| {
+                let mut tds = Vec::with_capacity(128);
+                for t in 0..128u64 {
+                    tds.push(pool.admit(1, t, params(20, t * 0x1000)).unwrap().0);
+                }
+                for td in tds {
+                    pool.retire(td);
+                }
+                pool
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_task_pool);
+criterion_main!(benches);

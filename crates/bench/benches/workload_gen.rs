@@ -1,0 +1,34 @@
+//! Workload-generator throughput: trace synthesis must never be the
+//! bottleneck of a sweep (Gaussian n = 5000 streams 12.5 M tasks per run).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nexuspp_trace::TraceSource;
+use nexuspp_workloads::{GaussianSpec, GridPattern, GridSpec};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(20);
+
+    let grid = GridSpec::default();
+    g.throughput(Throughput::Elements(grid.task_count()));
+    g.bench_function("grid_wavefront_8160", |b| {
+        b.iter(|| grid.generate(GridPattern::Wavefront))
+    });
+
+    let gauss = GaussianSpec::new(500);
+    g.throughput(Throughput::Elements(gauss.task_count()));
+    g.bench_function("gaussian_stream_125k", |b| {
+        b.iter(|| {
+            let mut src = gauss.source();
+            let mut n = 0u64;
+            while let Some(t) = src.next_task() {
+                n += t.params.len() as u64;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! `gentrace` — write any built-in workload as an `.ntr` trace file.
+//!
+//! ```text
+//! gentrace <workload> [-o FILE] [--seed N]
+//!
+//! workloads:
+//!   wavefront | horizontal | vertical | independent   (120×68 H.264 grid)
+//!   gaussian:<n>                                      (n×n elimination)
+//!   video:<frames>                                    (multi-frame H.264)
+//!   random:<tasks>:<addrs>                            (seeded random)
+//! ```
+//!
+//! Without `-o`, the trace goes to stdout, so it composes:
+//! `gentrace gaussian:64 | simulate --workers 8 -`.
+
+use nexuspp_trace::format::write_trace;
+use nexuspp_trace::Trace;
+use nexuspp_workloads::random::RandomSpec;
+use nexuspp_workloads::{GaussianSpec, GridPattern, GridSpec, VideoSpec};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gentrace <wavefront|horizontal|vertical|independent|gaussian:N|video:F|random:T:A> \
+         [-o FILE] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn build(which: &str, seed: u64) -> Option<Trace> {
+    let grid = GridSpec {
+        seed,
+        ..GridSpec::default()
+    };
+    let trace = match which {
+        "wavefront" => grid.generate(GridPattern::Wavefront),
+        "horizontal" => grid.generate(GridPattern::Horizontal),
+        "vertical" => grid.generate(GridPattern::Vertical),
+        "independent" => grid.generate(GridPattern::Independent),
+        other => {
+            let mut it = other.split(':');
+            match (it.next(), it.next(), it.next()) {
+                (Some("gaussian"), Some(n), None) => {
+                    let n: u32 = n.parse().ok()?;
+                    if n > 2000 {
+                        eprintln!(
+                            "refusing to materialize gaussian n={n} (>2M tasks); \
+                             use the streaming API instead"
+                        );
+                        return None;
+                    }
+                    GaussianSpec::new(n).trace()
+                }
+                (Some("video"), Some(f), None) => {
+                    let frames: u32 = f.parse().ok()?;
+                    let mut v = VideoSpec::new(frames);
+                    v.grid.seed = seed;
+                    v.generate()
+                }
+                (Some("random"), Some(t), Some(a)) => RandomSpec {
+                    n_tasks: t.parse().ok()?,
+                    addr_space: a.parse().ok()?,
+                    seed,
+                    ..RandomSpec::default()
+                }
+                .generate(),
+                _ => return None,
+            }
+        }
+    };
+    Some(trace)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = None;
+    let mut out: Option<String> = None;
+    let mut seed = GridSpec::default().seed;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            w if which.is_none() => which = Some(w.to_string()),
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| usage());
+    let trace = build(&which, seed).unwrap_or_else(|| usage());
+    eprintln!(
+        "[gentrace] {} tasks ({}), mean exec {}",
+        trace.len(),
+        trace.name,
+        trace.stats().mean_exec()
+    );
+    match out {
+        Some(path) => {
+            let f = std::fs::File::create(&path).expect("create output file");
+            let mut w = std::io::BufWriter::new(f);
+            write_trace(&trace, &mut w).expect("write trace");
+            w.flush().expect("flush");
+            eprintln!("[gentrace] wrote {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = std::io::BufWriter::new(stdout.lock());
+            write_trace(&trace, &mut w).expect("write trace");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! `repro` — regenerate every table and figure of the Nexus++ paper.
+//!
+//! ```text
+//! repro <experiment> [--full] [--quick] [--csv <dir>]
+//!
+//! experiments:
+//!   table2     Gaussian task counts / weights        (Table II)
+//!   table4     system parameters + storage budget    (Table IV, ≤210 KB)
+//!   fig4       dependency patterns & ramp profile    (Figure 4)
+//!   fig6       design-space exploration              (Figure 6)
+//!   fig7       pattern speedups vs cores             (Figure 7)
+//!   fig8       Gaussian speedups vs cores            (Figure 8)
+//!   headline   54× / 143× / 221× independent tasks   (§V)
+//!   nexus-vs   classic Nexus feasibility & lookups   (§I, §III-B)
+//!   rts        software RTS bottleneck               (§I motivation)
+//!   ablate     buffering depth / bus / kick-off size (design ablations)
+//!   video      multi-frame H.264 pipelining          (extension)
+//!   all        everything above
+//!
+//! flags:
+//!   --full     include long configurations (Gaussian n = 3000, 5000)
+//!   --quick    shrink sweeps (smoke test)
+//!   --csv DIR  also write CSV files under DIR
+//! ```
+
+use nexuspp_bench::experiments::{self, Experiment};
+use nexuspp_bench::ExpOptions;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|all> \
+         [--full] [--quick] [--csv DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(which) = args.next() else { usage() };
+    let mut opts = ExpOptions::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--full" => opts.full = true,
+            "--quick" => opts.quick = true,
+            "--csv" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                opts.out_dir = Some(dir.into());
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let run = |exps: Vec<Experiment>, opts: &ExpOptions| {
+        for e in exps {
+            println!("{}", e.render());
+            if let Some(dir) = &opts.out_dir {
+                if let Err(err) = e.write_csv(dir) {
+                    eprintln!("failed to write CSV for {}: {err}", e.id);
+                }
+            }
+        }
+    };
+
+    let t0 = Instant::now();
+    match which.as_str() {
+        "table2" => run(vec![experiments::table2(&opts)], &opts),
+        "table4" => run(vec![experiments::table4(&opts)], &opts),
+        "fig4" => run(vec![experiments::fig4(&opts)], &opts),
+        "fig6" => run(vec![experiments::fig6(&opts)], &opts),
+        "fig7" => run(vec![experiments::fig7(&opts)], &opts),
+        "fig8" => run(vec![experiments::fig8(&opts)], &opts),
+        "headline" => run(vec![experiments::headline(&opts)], &opts),
+        "nexus-vs" => run(vec![experiments::nexus_vs(&opts)], &opts),
+        "rts" => run(vec![experiments::rts(&opts)], &opts),
+        "ablate" => run(vec![experiments::ablate(&opts)], &opts),
+        "video" => run(vec![experiments::video(&opts)], &opts),
+        "all" => run(experiments::all(&opts), &opts),
+        _ => usage(),
+    }
+    eprintln!("[repro] completed in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,119 @@
+//! `simulate` — run an `.ntr` trace through the Task Machine.
+//!
+//! ```text
+//! simulate [--workers N] [--depth N] [--contention-free] [--no-prep]
+//!          [--tp N] [--dt N] [--kick N] [--analytic] <FILE.ntr | ->
+//! ```
+//!
+//! Prints the simulation report (makespan, per-block utilization, stalls,
+//! structure peaks). With `--analytic`, also prints the closed-form
+//! bottleneck prediction for comparison.
+
+use nexuspp_taskmachine::analytic::predict_speedup;
+use nexuspp_taskmachine::{simulate_trace, MachineConfig};
+use nexuspp_trace::format::read_trace;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--workers N] [--depth N] [--contention-free] [--no-prep] \
+         [--tp N] [--dt N] [--kick N] [--analytic] <FILE.ntr | ->"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = MachineConfig::with_workers(8);
+    let mut path: Option<String> = None;
+    let mut analytic = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let num = |it: &mut std::slice::Iter<String>| -> usize {
+            it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--workers" => cfg.workers = num(&mut it),
+            "--depth" => cfg.buffering_depth = num(&mut it),
+            "--tp" => cfg.nexus.task_pool_entries = num(&mut it),
+            "--dt" => cfg.nexus.dep_table_entries = num(&mut it),
+            "--kick" => cfg.nexus.kickoff_entries = num(&mut it),
+            "--contention-free" => cfg = cfg.contention_free(),
+            "--no-prep" => cfg = cfg.no_prep(),
+            "--analytic" => analytic = true,
+            p if path.is_none() => path = Some(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let trace = if path == "-" {
+        let stdin = std::io::stdin();
+        let mut lock = stdin.lock();
+        read_trace(&mut lock).expect("parse trace from stdin")
+    } else {
+        let f = std::fs::File::open(&path).expect("open trace file");
+        let mut r = std::io::BufReader::new(f);
+        read_trace(&mut r).expect("parse trace file")
+    };
+    // Re-sizing note: records index into the pool; validate is called by
+    // the machine itself.
+    eprintln!(
+        "[simulate] {} tasks on {} workers (depth {})",
+        trace.len(),
+        cfg.workers,
+        cfg.buffering_depth
+    );
+    let prediction = analytic.then(|| predict_speedup(&trace, &cfg));
+    match simulate_trace(cfg, &trace) {
+        Ok(r) => {
+            println!("workload            {}", r.name);
+            println!("tasks               {}", r.tasks);
+            println!("makespan            {}", r.makespan);
+            println!("throughput          {:.3} tasks/us", r.tasks_per_us());
+            println!("worker utilization  {:.1}%", r.worker_utilization() * 100.0);
+            println!(
+                "master              busy {} | stalls {}",
+                r.master_busy, r.master_stalls
+            );
+            for (name, b) in [
+                ("WriteTP", &r.write_tp),
+                ("CheckDeps", &r.check_deps),
+                ("Schedule", &r.schedule),
+                ("SendTDs", &r.send_tds),
+                ("HandleFin", &r.handle_fin),
+            ] {
+                println!(
+                    "{name:<19} ops {} | util {:>5.1}% | stalls {}",
+                    b.ops,
+                    b.utilization(r.makespan) * 100.0,
+                    b.stalls
+                );
+            }
+            println!(
+                "task pool           peak {} / dummy TDs {}",
+                r.pool.peak_occupancy, r.pool.dummy_tds_allocated
+            );
+            println!(
+                "dep table           peak {} / max chain {} / dummy entries {} / max waiters {}",
+                r.table.peak_occupancy,
+                r.table.max_chain_len,
+                r.table.ext_allocs,
+                r.table.max_waiters_live
+            );
+            println!(
+                "memory              queued {} / peak waiters {}",
+                r.mem_queued, r.mem_peak_waiters
+            );
+            if let Some(p) = prediction {
+                println!(
+                    "analytic            bottleneck {} | predicted speedup {:.1}x",
+                    p.bottleneck(),
+                    p.speedup()
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("[simulate] error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,906 @@
+//! One function per table/figure of the paper.
+//!
+//! Each experiment returns an [`Experiment`] (title, rendered tables,
+//! notes) so the `repro` binary, the integration tests, and EXPERIMENTS.md
+//! generation all share one implementation. Paper values appear next to
+//! measured values wherever the paper states them.
+
+use crate::table::{f1, f2, TextTable};
+use nexuspp_baseline::{classic::classic_check_trace, ClassicLimits};
+use nexuspp_baseline::{ideal_makespan, simulate_software_rts, SoftwareRtsConfig};
+use nexuspp_core::NexusConfig;
+use nexuspp_desim::SimTime;
+use nexuspp_hw::storage::{StorageBudget, StorageParams, TASK_SUPERSCALAR_BYTES};
+use nexuspp_hw::{BusConfig, MemoryConfig};
+use nexuspp_taskmachine::{simulate, simulate_trace, MachineConfig};
+use nexuspp_trace::{Trace, TraceSource};
+use nexuspp_workloads::analysis::parallelism_profile;
+use nexuspp_workloads::{stress, GaussianSpec, GridPattern, GridSpec, VideoSpec};
+use std::path::PathBuf;
+
+/// Experiment options from the command line.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOptions {
+    /// Include the long-running configurations (Gaussian n = 3000/5000).
+    pub full: bool,
+    /// Shrink sweeps for smoke tests.
+    pub quick: bool,
+    /// Write CSV outputs here.
+    pub out_dir: Option<PathBuf>,
+}
+
+/// A reproduced paper artifact.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Short id (`table2`, `fig7`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Captioned tables.
+    pub tables: Vec<(String, TextTable)>,
+    /// Free-form notes (caveats, paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Render everything as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        for (caption, table) in &self.tables {
+            out.push('\n');
+            out.push_str(caption);
+            out.push('\n');
+            out.push_str(&table.render());
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                out.push_str("note: ");
+                out.push_str(n);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Write each table as `<id>_<k>.csv` under `dir`.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (k, (_, table)) in self.tables.iter().enumerate() {
+            let path = dir.join(format!("{}_{k}.csv", self.id));
+            std::fs::write(path, table.to_csv())?;
+        }
+        Ok(())
+    }
+}
+
+fn grid_core_counts(opts: &ExpOptions) -> Vec<usize> {
+    if opts.quick {
+        vec![1, 4, 16, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------
+
+/// Table II: Gaussian elimination tasks for different matrix sizes.
+pub fn table2(opts: &ExpOptions) -> Experiment {
+    let paper: &[(u32, u64, f64)] = &[
+        (250, 31_374, 167.0),
+        (500, 125_249, 334.0),
+        (1000, 500_499, 667.0),
+        (3000, 4_501_499, 2012.0),
+        (5000, 12_502_499, 3523.0),
+    ];
+    let mut t = TextTable::new(vec![
+        "matrix dim",
+        "# tasks (paper)",
+        "# tasks (ours)",
+        "avg FLOPs (paper)",
+        "avg FLOPs (ours)",
+        "avg time @2GFLOPS",
+    ]);
+    for &(n, tasks, avg) in paper {
+        let spec = GaussianSpec::new(n);
+        // For moderate n, verify the closed form by actually generating.
+        let counted = if n <= 1000 || opts.full {
+            let mut src = spec.source();
+            let mut c = 0u64;
+            while src.next_task().is_some() {
+                c += 1;
+            }
+            c
+        } else {
+            spec.task_count()
+        };
+        assert_eq!(counted, spec.task_count(), "closed form vs generated");
+        t.row(vec![
+            n.to_string(),
+            tasks.to_string(),
+            counted.to_string(),
+            f1(avg),
+            f1(spec.avg_weight()),
+            spec.avg_task_time().to_string(),
+        ]);
+    }
+    Experiment {
+        id: "table2",
+        title: "Gaussian elimination tasks per matrix size".into(),
+        tables: vec![("Table II".into(), t)],
+        notes: vec![
+            "task counts follow (n²+n−2)/2 exactly".into(),
+            "average weights follow Formula 1; the paper's n=5000 entry (3523) is \
+             inconsistent with its own formula (3332.7) — see EXPERIMENTS.md"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table IV
+// ---------------------------------------------------------------------
+
+/// Table IV: system parameters and the ≤210 KB storage claim.
+pub fn table4(_opts: &ExpOptions) -> Experiment {
+    let cfg = MachineConfig::default();
+    let mut params = TextTable::new(vec!["system parameter", "value"]);
+    params.row(vec!["Cores clock freq.".to_string(), "2.0 GHz".into()]);
+    params.row(vec![
+        "Nexus++ clock freq.".to_string(),
+        format!("{} (500 MHz)", cfg.nexus_clock.period()),
+    ]);
+    params.row(vec![
+        "On-chip access time".to_string(),
+        cfg.sram.access.to_string(),
+    ]);
+    params.row(vec![
+        "Off-chip access time".to_string(),
+        format!("{} / {} B chunk", cfg.memory.chunk_time, cfg.memory.chunk_bytes),
+    ]);
+    params.row(vec![
+        "Memory bandwidth".to_string(),
+        format!("{:.2} GB/s", cfg.memory.peak_bandwidth_gbps()),
+    ]);
+    params.row(vec![
+        "Memory banks / concurrent accessors".to_string(),
+        format!("{}", cfg.memory.slots()),
+    ]);
+    params.row(vec![
+        "Task Pool".to_string(),
+        format!("{} TDs × 78 B", cfg.nexus.task_pool_entries),
+    ]);
+    params.row(vec![
+        "Parameters per TD".to_string(),
+        cfg.nexus.params_per_td.to_string(),
+    ]);
+    params.row(vec![
+        "Dependence Table".to_string(),
+        format!("{} entries × 28 B", cfg.nexus.dep_table_entries),
+    ]);
+    params.row(vec![
+        "Kick-Off list size".to_string(),
+        format!("{} task IDs", cfg.nexus.kickoff_entries),
+    ]);
+    params.row(vec![
+        "Buffering depth".to_string(),
+        cfg.buffering_depth.to_string(),
+    ]);
+    params.row(vec![
+        "Task preparation".to_string(),
+        cfg.master.prep_time.to_string(),
+    ]);
+
+    let budget = StorageBudget::compute(&StorageParams::default());
+    let mut storage = TextTable::new(vec!["structure", "bytes", "KB"]);
+    for (name, bytes) in budget.rows() {
+        storage.row(vec![
+            name.to_string(),
+            bytes.to_string(),
+            f2(bytes as f64 / 1024.0),
+        ]);
+    }
+    storage.row(vec![
+        "TOTAL".to_string(),
+        budget.total().to_string(),
+        f2(budget.total() as f64 / 1024.0),
+    ]);
+
+    let total_kb = budget.total() as f64 / 1024.0;
+    Experiment {
+        id: "table4",
+        title: "System parameters and storage budget".into(),
+        tables: vec![
+            ("Table IV — parameters".into(), params),
+            ("Storage budget".into(), storage),
+        ],
+        notes: vec![
+            format!(
+                "total {:.1} KB — paper claims ≤ 210 KB: {}",
+                total_kb,
+                if budget.total() <= 210 * 1024 { "HOLDS" } else { "VIOLATED" }
+            ),
+            format!(
+                "Task Superscalar uses {} KB (≈{}× more)",
+                TASK_SUPERSCALAR_BYTES / 1024,
+                TASK_SUPERSCALAR_BYTES / budget.total().max(1)
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------
+
+/// Figure 4: dependency patterns and their available parallelism.
+pub fn fig4(_opts: &ExpOptions) -> Experiment {
+    let g = GridSpec::default();
+    let mut t = TextTable::new(vec![
+        "pattern",
+        "tasks",
+        "critical path",
+        "max parallel",
+        "avg parallel",
+    ]);
+    let mut ramp = TextTable::new(vec!["round", "ready tasks (wavefront)"]);
+    for pat in GridPattern::all() {
+        let tr = g.generate(pat);
+        let p = parallelism_profile(&tr);
+        t.row(vec![
+            pat.name().to_string(),
+            p.tasks.to_string(),
+            p.critical_path().to_string(),
+            p.max_parallelism().to_string(),
+            f2(p.avg_parallelism()),
+        ]);
+        if pat == GridPattern::Wavefront {
+            for (i, w) in p.widths.iter().enumerate() {
+                ramp.row(vec![i.to_string(), w.to_string()]);
+            }
+        }
+    }
+    Experiment {
+        id: "fig4",
+        title: "Dependency patterns (120×68 blocks)".into(),
+        tables: vec![
+            ("Pattern structure".into(), t),
+            ("Wavefront ramp profile (Fig 4a)".into(), ramp),
+        ],
+        notes: vec![
+            "the wavefront ramp rises from 1 to its mid-execution peak and falls \
+             back to 1 — the ramping effect the paper describes"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6
+// ---------------------------------------------------------------------
+
+fn fig6_machine(workers: usize, tp: usize, dt: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::with_workers(workers).contention_free();
+    cfg.nexus = NexusConfig {
+        task_pool_entries: tp,
+        dep_table_entries: dt,
+        ..NexusConfig::default()
+    };
+    cfg
+}
+
+/// Figure 6: design-space exploration of Task Pool / Dependence Table
+/// sizes (independent tasks, 256 cores, double buffering, contention-free
+/// memory).
+pub fn fig6(opts: &ExpOptions) -> Experiment {
+    let workers = if opts.quick { 64 } else { 256 };
+    let trace = GridSpec::default().generate(GridPattern::Independent);
+    let base = simulate_trace(fig6_machine(1, 8192, 8192), &trace).expect("baseline run");
+
+    let dt_sizes: &[usize] = if opts.quick {
+        &[512, 2048, 8192]
+    } else {
+        &[256, 512, 1024, 2048, 4096, 8192]
+    };
+    let mut dt_table = TextTable::new(vec![
+        "DT entries (TP=8K)",
+        "speedup",
+        "longest hash chain",
+        "DT peak occupancy",
+        "check stalls",
+    ]);
+    for &dt in dt_sizes {
+        let r = simulate_trace(fig6_machine(workers, 8192, dt), &trace).expect("dt sweep");
+        dt_table.row(vec![
+            dt.to_string(),
+            f2(base.makespan / r.makespan),
+            r.table.max_chain_len.to_string(),
+            r.table.peak_occupancy.to_string(),
+            r.check_deps.stalls.to_string(),
+        ]);
+    }
+
+    let tp_sizes: &[usize] = if opts.quick {
+        &[128, 512, 2048]
+    } else {
+        &[128, 256, 512, 1024, 2048, 4096, 8192]
+    };
+    let mut tp_table = TextTable::new(vec![
+        "TP entries (DT=8K)",
+        "speedup",
+        "TP peak occupancy",
+        "master stalls",
+    ]);
+    for &tp in tp_sizes {
+        let r = simulate_trace(fig6_machine(workers, tp, 8192), &trace).expect("tp sweep");
+        tp_table.row(vec![
+            tp.to_string(),
+            f2(base.makespan / r.makespan),
+            r.pool.peak_occupancy.to_string(),
+            r.master_stalls.to_string(),
+        ]);
+    }
+
+    Experiment {
+        id: "fig6",
+        title: format!(
+            "Design space exploration ({workers} cores, contention-free, independent tasks)"
+        ),
+        tables: vec![
+            ("Speedup & chains vs Dependence Table size".into(), dt_table),
+            ("Speedup vs Task Pool size".into(), tp_table),
+        ],
+        notes: vec![
+            "paper: speedup peaks (143×) from DT = 2K upward; chains ≈ halve from 2K → 4K"
+                .into(),
+            format!(
+                "paper: TP = 512 suffices at 256 cores (double buffering ⇒ window {} = cores × depth)",
+                workers * 2
+            ),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7
+// ---------------------------------------------------------------------
+
+/// Figure 7: speedup over worker count for the Figure 4 patterns
+/// (memory contention on, double buffering).
+pub fn fig7(opts: &ExpOptions) -> Experiment {
+    let counts = grid_core_counts(opts);
+    let mut t = TextTable::new(
+        std::iter::once("cores".to_string())
+            .chain(GridPattern::all().iter().map(|p| p.name().to_string()))
+            .collect::<Vec<_>>(),
+    );
+    // Baselines per pattern.
+    let mut results: Vec<Vec<f64>> = Vec::new();
+    for pat in GridPattern::all() {
+        let trace = GridSpec::default().generate(pat);
+        let base = simulate_trace(MachineConfig::with_workers(1), &trace).expect("fig7 base");
+        let mut col = Vec::new();
+        for &w in &counts {
+            let r = if w == 1 {
+                base.clone()
+            } else {
+                simulate_trace(MachineConfig::with_workers(w), &trace).expect("fig7 point")
+            };
+            col.push(base.makespan / r.makespan);
+        }
+        results.push(col);
+    }
+    for (i, &w) in counts.iter().enumerate() {
+        let mut row = vec![w.to_string()];
+        for col in &results {
+            row.push(f2(col[i]));
+        }
+        t.row(row);
+    }
+    Experiment {
+        id: "fig7",
+        title: "Speedup vs cores for the Figure 4 dependency patterns".into(),
+        tables: vec![("Figure 7".into(), t)],
+        notes: vec![
+            "paper shape: horizontal (b) saturates around 8 cores; vertical (c) scales \
+             to 64; the wavefront is capped by its ramp-limited parallelism; independent \
+             tasks reach 54× at 64 cores then flatten under memory contention"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8
+// ---------------------------------------------------------------------
+
+/// Figure 8: Gaussian elimination speedups per matrix size (memory
+/// contention on, double buffering).
+pub fn fig8(opts: &ExpOptions) -> Experiment {
+    let sizes: Vec<u32> = if opts.quick {
+        vec![250, 500]
+    } else if opts.full {
+        vec![250, 500, 1000, 3000, 5000]
+    } else {
+        vec![250, 500, 1000]
+    };
+    let counts: Vec<usize> = if opts.quick {
+        vec![1, 4, 16, 64]
+    } else {
+        vec![1, 2, 4, 8, 16, 32, 64]
+    };
+    let mut t = TextTable::new(
+        std::iter::once("cores".to_string())
+            .chain(sizes.iter().map(|n| format!("n={n}")))
+            .collect::<Vec<_>>(),
+    );
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for &n in &sizes {
+        let spec = GaussianSpec::new(n);
+        let mut src = spec.source();
+        let base = simulate(MachineConfig::with_workers(1), &mut src).expect("fig8 base");
+        let mut col = Vec::new();
+        for &w in &counts {
+            if w == 1 {
+                col.push(1.0);
+                continue;
+            }
+            let mut src = spec.source();
+            let r = simulate(MachineConfig::with_workers(w), &mut src).expect("fig8 point");
+            col.push(base.makespan / r.makespan);
+        }
+        cols.push(col);
+    }
+    for (i, &w) in counts.iter().enumerate() {
+        let mut row = vec![w.to_string()];
+        for col in &cols {
+            row.push(f2(col[i]));
+        }
+        t.row(row);
+    }
+
+    // Companion variant: Gaussian memory traffic exempt from bank
+    // contention. The paper's 45× at 64 cores is unreachable under the
+    // literal model (W doubles read+written per task exceeds the 10.67
+    // GB/s aggregate at that task rate); without contention our model
+    // lands on the paper's number, so this is evidently what their
+    // simulator measured. Both variants are reported.
+    let biggest = *sizes.last().expect("nonempty");
+    let spec = GaussianSpec::new(biggest);
+    let mut src = spec.source();
+    let base_cf = simulate(
+        MachineConfig::with_workers(1).contention_free(),
+        &mut src,
+    )
+    .expect("fig8 cf base");
+    let mut cf = TextTable::new(vec![
+        "cores",
+        "contended speedup",
+        "contention-free speedup",
+    ]);
+    for &w in counts.iter().filter(|&&w| w > 1) {
+        let mut src = spec.source();
+        let r_cf = simulate(MachineConfig::with_workers(w).contention_free(), &mut src)
+            .expect("fig8 cf point");
+        let contended = cols.last().expect("nonempty")[counts.iter().position(|&c| c == w).unwrap()];
+        cf.row(vec![
+            w.to_string(),
+            f2(contended),
+            f2(base_cf.makespan / r_cf.makespan),
+        ]);
+    }
+
+    Experiment {
+        id: "fig8",
+        title: "Gaussian elimination speedup per matrix size".into(),
+        tables: vec![
+            ("Figure 8 (literal memory model, contention on)".into(), t),
+            (
+                format!("n={biggest}: memory-contention sensitivity"),
+                cf,
+            ),
+        ],
+        notes: vec![
+            "paper: n=5000 reaches 45× at 64 cores; n=250 reaches 2.3× at 4 cores and \
+             stays flat"
+                .into(),
+            "the paper's 45× is only consistent with Gaussian traffic NOT contending \
+             for the 32 banks (literal W-doubles traffic exceeds the 10.67 GB/s \
+             aggregate); the contention-free column reproduces it — see EXPERIMENTS.md"
+                .into(),
+            if opts.full {
+                "full mode: includes n=3000 and n=5000 (12.5M tasks per run)".into()
+            } else {
+                "default mode: n ≤ 1000; pass --full for n = 3000/5000".into()
+            },
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headline numbers
+// ---------------------------------------------------------------------
+
+/// §V headline: 54× (64 cores, contention), 143× (256 cores,
+/// contention-free), 221× (no task-prep delay).
+pub fn headline(_opts: &ExpOptions) -> Experiment {
+    let trace = GridSpec::default().generate(GridPattern::Independent);
+    let base = simulate_trace(MachineConfig::with_workers(1), &trace).expect("headline base");
+    let mk = |cfg: MachineConfig| -> f64 {
+        let r = simulate_trace(cfg, &trace).expect("headline point");
+        base.makespan / r.makespan
+    };
+    let s64 = mk(MachineConfig::with_workers(64));
+    let s256cf = mk(MachineConfig::with_workers(256).contention_free());
+    let s256np = mk(MachineConfig::with_workers(256).contention_free().no_prep());
+
+    let mut t = TextTable::new(vec!["experiment", "paper", "ours", "ratio"]);
+    t.row(vec![
+        "64 cores, memory contention".to_string(),
+        "54×".into(),
+        format!("{:.1}×", s64),
+        f2(s64 / 54.0),
+    ]);
+    t.row(vec![
+        "256 cores, contention-free".to_string(),
+        "143×".into(),
+        format!("{:.1}×", s256cf),
+        f2(s256cf / 143.0),
+    ]);
+    t.row(vec![
+        "256 cores, contention-free, no prep delay".to_string(),
+        "221×".into(),
+        format!("{:.1}×", s256np),
+        f2(s256np / 221.0),
+    ]);
+    Experiment {
+        id: "headline",
+        title: "Independent-tasks headline speedups (double buffering)".into(),
+        tables: vec![("§V headline numbers".into(), t)],
+        notes: vec![
+            "same qualitative structure: contention caps the curve from ~64 cores; \
+             removing the 30 ns task preparation lifts the master-limited plateau"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Nexus classic comparison
+// ---------------------------------------------------------------------
+
+/// §I/§III-B: which workloads classic Nexus can run, and the lookup-count
+/// comparison.
+pub fn nexus_vs(opts: &ExpOptions) -> Experiment {
+    let limits = ClassicLimits::default();
+    let mut t = TextTable::new(vec![
+        "workload",
+        "classic Nexus",
+        "max params",
+        "max waiters",
+        "classic lookups",
+        "Nexus++ lookups",
+        "ratio",
+    ]);
+    let mut cases: Vec<(String, Trace)> = vec![
+        (
+            "h264-wavefront".into(),
+            GridSpec::default().generate(GridPattern::Wavefront),
+        ),
+        (
+            "independent".into(),
+            GridSpec::default().generate(GridPattern::Independent),
+        ),
+        (
+            "gaussian-250".into(),
+            GaussianSpec::new(if opts.quick { 80 } else { 250 }).trace(),
+        ),
+        ("wide-params-16".into(), stress::wide_params(64, 16, 1000)),
+    ];
+    for (name, trace) in cases.drain(..) {
+        let v = classic_check_trace(&trace, limits, 1024, 2012);
+        t.row(vec![
+            name,
+            if v.supported {
+                "supported".to_string()
+            } else {
+                "REJECTED".to_string()
+            },
+            v.max_params_seen.to_string(),
+            v.max_waiters_seen.to_string(),
+            v.classic_accesses.to_string(),
+            v.nexuspp_accesses.to_string(),
+            f2(v.access_ratio()),
+        ]);
+    }
+    Experiment {
+        id: "nexus-vs",
+        title: "Classic Nexus feasibility and lookup comparison".into(),
+        tables: vec![("Nexus (2010) vs Nexus++".into(), t)],
+        notes: vec![
+            "paper: \"applications that could not be executed by Nexus, such as Gaussian \
+             elimination …, can be executed efficiently on a multicore system with Nexus++\""
+                .into(),
+            "classic lookup model: three tables accessed for every parameter operation (§III-B)"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Software RTS motivation
+// ---------------------------------------------------------------------
+
+/// §I motivation: the software runtime bottleneck vs Nexus++.
+pub fn rts(opts: &ExpOptions) -> Experiment {
+    let counts: Vec<usize> = if opts.quick {
+        vec![1, 8, 32]
+    } else {
+        vec![1, 4, 8, 16, 32, 64]
+    };
+    let trace = GridSpec::default().generate(GridPattern::Independent);
+    let cfg = SoftwareRtsConfig::default();
+    let mem = MemoryConfig::default();
+
+    let mut sw_mk = Vec::new();
+    for &w in &counts {
+        let mut src = trace.clone().into_source();
+        sw_mk.push(simulate_software_rts(&mut src, w, &cfg, &mem));
+    }
+    let hw_base = simulate_trace(MachineConfig::with_workers(1), &trace).expect("rts base");
+    let mut t = TextTable::new(vec![
+        "cores",
+        "software RTS speedup",
+        "Nexus++ speedup",
+        "ideal speedup",
+    ]);
+    for (i, &w) in counts.iter().enumerate() {
+        let hw = if w == 1 {
+            1.0
+        } else {
+            let r = simulate_trace(MachineConfig::with_workers(w), &trace).expect("rts hw");
+            hw_base.makespan / r.makespan
+        };
+        let mut src = trace.clone().into_source();
+        let ideal1 = ideal_makespan(&mut src, 1, &mem);
+        let mut src = trace.clone().into_source();
+        let ideal = ideal1 / ideal_makespan(&mut src, w, &mem);
+        t.row(vec![
+            w.to_string(),
+            f2(sw_mk[0] / sw_mk[i]),
+            f2(hw),
+            f2(ideal),
+        ]);
+    }
+    Experiment {
+        id: "rts",
+        title: "Software RTS bottleneck vs hardware task management".into(),
+        tables: vec![("Motivating comparison (independent tasks)".into(), t)],
+        notes: vec![
+            "the software runtime serializes ~3 µs of management per task on the master \
+             core and saturates in single digits; Nexus++ tracks the ideal curve until \
+             memory contention"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// Design ablations: buffering depth, shared bus, bus cost model,
+/// kick-off list size.
+pub fn ablate(opts: &ExpOptions) -> Experiment {
+    let workers = if opts.quick { 16 } else { 64 };
+    let wf = GridSpec::default().generate(GridPattern::Wavefront);
+    let ind = GridSpec::default().generate(GridPattern::Independent);
+
+    // Buffering depth: the paper's "double buffering" contribution.
+    let mut depth_t = TextTable::new(vec![
+        "buffering depth",
+        "wavefront makespan",
+        "independent makespan",
+        "independent speedup vs depth 1",
+    ]);
+    let mut d1_ind = SimTime::ZERO;
+    for depth in [1usize, 2, 4, 8] {
+        let mut cfg = MachineConfig::with_workers(workers);
+        cfg.buffering_depth = depth;
+        let r_wf = simulate_trace(cfg.clone(), &wf).expect("depth wf");
+        let r_ind = simulate_trace(cfg, &ind).expect("depth ind");
+        if depth == 1 {
+            d1_ind = r_ind.makespan;
+        }
+        depth_t.row(vec![
+            depth.to_string(),
+            r_wf.makespan.to_string(),
+            r_ind.makespan.to_string(),
+            f2(d1_ind / r_ind.makespan),
+        ]);
+    }
+
+    // Bus model and sharing.
+    let mut bus_t = TextTable::new(vec!["configuration", "independent speedup @256 cf"]);
+    let base = simulate_trace(MachineConfig::with_workers(1), &ind).expect("bus base");
+    for (name, mutate) in [
+        (
+            "prose bus (2 cyc/word), separate links",
+            Box::new(|c: &mut MachineConfig| {
+                c.bus = BusConfig::prose_model();
+            }) as Box<dyn Fn(&mut MachineConfig)>,
+        ),
+        (
+            "worked-example bus (6+n cyc), separate links",
+            Box::new(|c: &mut MachineConfig| {
+                c.bus = BusConfig::default();
+            }),
+        ),
+        (
+            "prose bus, shared master/TC bus",
+            Box::new(|c: &mut MachineConfig| {
+                c.bus = BusConfig::prose_model();
+                c.shared_bus = true;
+            }),
+        ),
+    ] {
+        let mut cfg = MachineConfig::with_workers(if opts.quick { 64 } else { 256 })
+            .contention_free();
+        mutate(&mut cfg);
+        let r = simulate_trace(cfg, &ind).expect("bus point");
+        bus_t.row(vec![name.to_string(), f2(base.makespan / r.makespan)]);
+    }
+
+    // Kick-off list size on a fan-out-heavy workload.
+    let gspec = GaussianSpec::new(if opts.quick { 120 } else { 500 });
+    let mut kick_t = TextTable::new(vec![
+        "kick-off list size",
+        "gaussian makespan",
+        "dummy entries allocated",
+        "promotions",
+    ]);
+    for k in [2usize, 4, 8, 16, 32] {
+        let mut cfg = MachineConfig::with_workers(workers);
+        cfg.nexus.kickoff_entries = k;
+        let mut src = gspec.source();
+        let r = simulate(cfg, &mut src).expect("kick point");
+        kick_t.row(vec![
+            k.to_string(),
+            r.makespan.to_string(),
+            r.table.ext_allocs.to_string(),
+            r.table.promotions.to_string(),
+        ]);
+    }
+
+    Experiment {
+        id: "ablate",
+        title: format!("Design ablations ({workers} cores)"),
+        tables: vec![
+            ("Task-buffering depth (§III double buffering)".into(), depth_t),
+            ("Bus model".into(), bus_t),
+            ("Kick-off list size vs dummy-entry traffic".into(), kick_t),
+        ],
+        notes: vec![
+            "depth 2 (double buffering) captures almost all of the benefit for \
+             memory-heavy tasks; deeper buffering has diminishing returns"
+                .into(),
+            "smaller kick-off lists trade SRAM for dummy-entry traffic at identical \
+             semantics — the mechanism's cost is visible, its correctness is not affected"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Extension: multi-frame H.264 pipelining
+// ---------------------------------------------------------------------
+
+/// Extension experiment: multi-frame H.264 decode. P-frames reference the
+/// previous frame, so wavefronts pipeline across frames and recover the
+/// parallelism the single-frame ramp loses — the natural next step the
+/// paper's single-frame trace points at.
+pub fn video(opts: &ExpOptions) -> Experiment {
+    let frames_list: &[u32] = if opts.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let cores = if opts.quick { 16 } else { 32 };
+    let mut t = TextTable::new(vec![
+        "frames",
+        "tasks",
+        "critical path",
+        "avg parallelism",
+        &format!("speedup @{cores} cores"),
+        "speedup per frame-second",
+    ]);
+    for &f in frames_list {
+        let spec = VideoSpec::new(f);
+        let trace = spec.generate();
+        let profile = parallelism_profile(&trace);
+        let base = simulate_trace(MachineConfig::with_workers(1), &trace).expect("video base");
+        let r = simulate_trace(MachineConfig::with_workers(cores), &trace).expect("video run");
+        let speedup = base.makespan / r.makespan;
+        t.row(vec![
+            f.to_string(),
+            trace.len().to_string(),
+            profile.critical_path().to_string(),
+            f2(profile.avg_parallelism()),
+            f2(speedup),
+            f2(speedup / f as f64),
+        ]);
+    }
+    Experiment {
+        id: "video",
+        title: "Extension: multi-frame H.264 decode (P-frame pipelining)".into(),
+        tables: vec![("Frames vs recovered parallelism".into(), t)],
+        notes: vec![
+            "with inter-frame references, frame f+1's wavefront starts as soon as its              reference blocks retire: the critical path grows by ~1 wavefront step per              frame instead of a whole frame, so average parallelism — and the achieved              speedup — climbs toward the steady-state bound as frames accumulate"
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------
+
+/// Run every experiment.
+pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
+    vec![
+        table2(opts),
+        table4(opts),
+        fig4(opts),
+        fig6(opts),
+        fig7(opts),
+        fig8(opts),
+        headline(opts),
+        nexus_vs(opts),
+        rts(opts),
+        ablate(opts),
+        video(opts),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExpOptions {
+        ExpOptions {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table2_rows_match_paper_counts() {
+        let e = table2(&quick());
+        let t = &e.tables[0].1;
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.cell(0, 1), t.cell(0, 2), "ours must equal paper count");
+    }
+
+    #[test]
+    fn table4_budget_holds() {
+        let e = table4(&quick());
+        assert!(e.notes[0].contains("HOLDS"));
+    }
+
+    #[test]
+    fn fig4_wavefront_profile_shape() {
+        let e = fig4(&quick());
+        let t = &e.tables[0].1;
+        // wavefront row: critical path 306, avg ≈ 26.67.
+        assert_eq!(t.cell(1, 2), "306");
+    }
+
+    #[test]
+    fn headline_within_band() {
+        let e = headline(&quick());
+        let t = &e.tables[0].1;
+        for row in 0..3 {
+            let ratio: f64 = t.cell(row, 3).parse().unwrap();
+            assert!(
+                (0.7..=1.4).contains(&ratio),
+                "row {row} ratio {ratio} outside ±40% band"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # nexuspp-bench — experiment harness
+//!
+//! Library backing the `repro` binary: one module per table/figure of the
+//! paper, each returning structured rows that the binary renders as text
+//! tables and CSV. Integration tests call the same functions, so "the
+//! experiment reproduces" is a tested property, not a claim.
+//!
+//! | Paper artifact | Module | Binary command |
+//! |---|---|---|
+//! | Table II (Gaussian sizes) | [`experiments::table2`] | `repro table2` |
+//! | Table IV (parameters, ≤210 KB) | [`experiments::table4`] | `repro table4` |
+//! | Figure 4 (dependency patterns) | [`experiments::fig4`] | `repro fig4` |
+//! | Figure 6 (design space) | [`experiments::fig6`] | `repro fig6` |
+//! | Figure 7 (pattern speedups) | [`experiments::fig7`] | `repro fig7` |
+//! | Figure 8 (Gaussian speedups) | [`experiments::fig8`] | `repro fig8` |
+//! | §V headline (54×/143×/221×) | [`experiments::headline`] | `repro headline` |
+//! | §III-B efficiency vs Nexus | [`experiments::nexus_vs`] | `repro nexus-vs` |
+//! | §I motivation (software RTS) | [`experiments::rts`] | `repro rts` |
+//! | design ablations | [`experiments::ablate`] | `repro ablate` |
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::ExpOptions;

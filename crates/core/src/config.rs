@@ -1,0 +1,97 @@
+//! Nexus++ capacity configuration (Table IV defaults).
+
+/// Capacities of the Nexus++ storage structures.
+///
+/// Defaults reproduce Table IV of the paper: a 1K-entry Task Pool with 8
+/// parameters per 78-byte Task Descriptor, and a 4K-entry Dependence Table
+/// with 8-slot Kick-Off Lists. The design-space exploration of Figure 6
+/// sweeps `task_pool_entries` and `dep_table_entries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NexusConfig {
+    /// Task Pool entries ("Task Pool size 78 KB (1K TDs)").
+    pub task_pool_entries: usize,
+    /// Parameters per Task Descriptor ("No. Parameters per TD: 8"). Tasks
+    /// with more inputs/outputs chain dummy tasks.
+    pub params_per_td: usize,
+    /// Dependence Table entries ("112 KB (4K entries)").
+    pub dep_table_entries: usize,
+    /// Kick-Off List slots per entry ("Kick-Off list size 8 task IDs").
+    /// Longer waiter lists chain dummy entries.
+    pub kickoff_entries: usize,
+    /// Growable mode: capacities double on demand instead of stalling, and
+    /// per-descriptor/per-list limits are ignored (no dummy tasks/entries
+    /// needed). Used by the threaded runtime, where the structures are
+    /// software and stalls would deadlock the submitting thread.
+    pub growable: bool,
+}
+
+impl Default for NexusConfig {
+    fn default() -> Self {
+        NexusConfig {
+            task_pool_entries: 1024,
+            params_per_td: 8,
+            dep_table_entries: 4096,
+            kickoff_entries: 8,
+            growable: false,
+        }
+    }
+}
+
+impl NexusConfig {
+    /// Configuration for the threaded runtime: modest initial sizes that
+    /// grow on demand; dummy-task/entry virtualization disabled.
+    pub fn unbounded() -> Self {
+        NexusConfig {
+            task_pool_entries: 256,
+            params_per_td: usize::MAX,
+            dep_table_entries: 256,
+            kickoff_entries: usize::MAX,
+            growable: true,
+        }
+    }
+
+    /// Validate invariants, panicking with a clear message on nonsense
+    /// configurations (called by the structures' constructors).
+    pub fn validate(&self) {
+        assert!(self.task_pool_entries >= 2, "task pool needs ≥ 2 entries");
+        assert!(self.dep_table_entries >= 2, "dependence table needs ≥ 2 entries");
+        assert!(
+            self.params_per_td >= 2,
+            "descriptors need ≥ 2 parameter slots (one may become a dummy pointer)"
+        );
+        assert!(self.kickoff_entries >= 1, "kick-off lists need ≥ 1 slot");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let c = NexusConfig::default();
+        assert_eq!(c.task_pool_entries, 1024);
+        assert_eq!(c.params_per_td, 8);
+        assert_eq!(c.dep_table_entries, 4096);
+        assert_eq!(c.kickoff_entries, 8);
+        assert!(!c.growable);
+        c.validate();
+    }
+
+    #[test]
+    fn unbounded_is_growable() {
+        let c = NexusConfig::unbounded();
+        assert!(c.growable);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_pool_rejected() {
+        NexusConfig {
+            task_pool_entries: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

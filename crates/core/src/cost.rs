@@ -1,0 +1,83 @@
+//! Operation cost accounting.
+//!
+//! The paper times hash-table work as "the on-chip access time multiplied by
+//! the number of lookups required per access". Every pool/table operation in
+//! this crate therefore returns an [`OpCost`] counting the entry touches it
+//! performed; the Task Machine converts counts to time. Keeping cost as
+//! data (instead of burying timing in the structures) lets the same code
+//! drive the cycle-level simulator, the threaded runtime (which ignores
+//! costs), and the lookup-count comparison against the original Nexus.
+
+use std::ops::{Add, AddAssign};
+
+/// Count of table-entry accesses performed by an operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCost {
+    /// Entry reads or writes in the Task Pool.
+    pub pool_accesses: u64,
+    /// Entry reads or writes in the Dependence Table (including hash-chain
+    /// hops, kick-off list touches and dummy-entry maintenance).
+    pub table_accesses: u64,
+}
+
+impl OpCost {
+    /// Zero cost.
+    pub const ZERO: OpCost = OpCost {
+        pool_accesses: 0,
+        table_accesses: 0,
+    };
+
+    /// A cost of `n` pool accesses.
+    pub fn pool(n: u64) -> OpCost {
+        OpCost {
+            pool_accesses: n,
+            ..OpCost::ZERO
+        }
+    }
+
+    /// A cost of `n` table accesses.
+    pub fn table(n: u64) -> OpCost {
+        OpCost {
+            table_accesses: n,
+            ..OpCost::ZERO
+        }
+    }
+
+    /// Total accesses across both structures.
+    pub fn total(self) -> u64 {
+        self.pool_accesses + self.table_accesses
+    }
+}
+
+impl Add for OpCost {
+    type Output = OpCost;
+    fn add(self, rhs: OpCost) -> OpCost {
+        OpCost {
+            pool_accesses: self.pool_accesses + rhs.pool_accesses,
+            table_accesses: self.table_accesses + rhs.table_accesses,
+        }
+    }
+}
+
+impl AddAssign for OpCost {
+    fn add_assign(&mut self, rhs: OpCost) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = OpCost::pool(2) + OpCost::table(3);
+        assert_eq!(a.pool_accesses, 2);
+        assert_eq!(a.table_accesses, 3);
+        assert_eq!(a.total(), 5);
+        let mut b = OpCost::ZERO;
+        b += a;
+        b += OpCost::table(1);
+        assert_eq!(b.total(), 6);
+    }
+}

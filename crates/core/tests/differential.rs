@@ -1,0 +1,236 @@
+//! Differential testing: the Nexus++ hardware protocol (Task Pool +
+//! Dependence Table + Kick-Off Lists + `Rdrs`/`ww` flags) must impose
+//! exactly the same execution constraints as an explicit task DAG.
+//!
+//! Strategy: generate random task streams over a small address space (lots
+//! of RAW/WAW/WAR collisions), push them through both the
+//! [`DependencyEngine`] and the [`OracleResolver`], finish tasks in a
+//! random (seeded) order chosen among the ready ones, and require the two
+//! ready sets to be identical after every step. Run once with a roomy
+//! growable configuration and once with a deliberately tiny fixed
+//! configuration so that descriptor chaining (dummy tasks), kick-off
+//! extensions (dummy entries), pool-full and table-full stalls are all on
+//! the hot path.
+
+use nexuspp_core::engine::CheckProgress;
+use nexuspp_core::oracle::OracleResolver;
+use nexuspp_core::pool::PoolError;
+use nexuspp_core::{DependencyEngine, NexusConfig, TdIndex};
+use nexuspp_desim::Rng;
+use nexuspp_trace::normalize::normalize_params;
+use nexuspp_trace::{AccessMode, Param};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+/// One generated task: parameter list (already normalized).
+#[derive(Debug, Clone)]
+struct GenTask {
+    params: Vec<Param>,
+}
+
+fn mode_strategy() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![
+        Just(AccessMode::In),
+        Just(AccessMode::Out),
+        Just(AccessMode::InOut),
+    ]
+}
+
+fn task_strategy(addr_space: u64, max_params: usize) -> impl Strategy<Value = GenTask> {
+    prop::collection::vec((0..addr_space, mode_strategy()), 1..=max_params).prop_map(|ps| {
+        let params: Vec<Param> = ps
+            .into_iter()
+            .map(|(a, m)| Param::new(0x1000 + a * 64, 16, m))
+            .collect();
+        GenTask {
+            params: normalize_params(&params),
+        }
+    })
+}
+
+/// Drive both resolvers through the full workload, checking ready-set
+/// equality after every submission and every completion.
+fn run_differential(tasks: &[GenTask], cfg: &NexusConfig, seed: u64) {
+    let mut engine = DependencyEngine::new(cfg);
+    let mut oracle = OracleResolver::new();
+    let mut rng = Rng::new(seed);
+
+    // tag (= oracle id) ↔ engine descriptor index.
+    let mut td_of_tag: HashMap<u64, TdIndex> = HashMap::new();
+    let mut engine_ready: BTreeSet<u64> = BTreeSet::new();
+
+    let finish_one = |engine: &mut DependencyEngine,
+                          oracle: &mut OracleResolver,
+                          engine_ready: &mut BTreeSet<u64>,
+                          td_of_tag: &mut HashMap<u64, TdIndex>,
+                          rng: &mut Rng| {
+        let ready: Vec<u64> = engine_ready.iter().copied().collect();
+        assert!(!ready.is_empty(), "no ready task to finish (deadlock)");
+        let pick = ready[rng.gen_range(ready.len() as u64) as usize];
+        engine_ready.remove(&pick);
+        let td = td_of_tag.remove(&pick).unwrap();
+        let fin = engine.finish(td);
+        let oracle_newly = oracle.finish(pick as usize);
+        let engine_newly: BTreeSet<u64> = fin.newly_ready.iter().map(|&t| {
+            let tag = engine.pool().get(t).tag;
+            engine_ready.insert(tag);
+            tag
+        }).collect();
+        let oracle_newly: BTreeSet<u64> = oracle_newly.into_iter().map(|i| i as u64).collect();
+        assert_eq!(
+            engine_newly, oracle_newly,
+            "wake sets diverge after finishing task {pick}"
+        );
+    };
+
+    for (tag, task) in tasks.iter().enumerate() {
+        let tag = tag as u64;
+        // Admit with retry: a full pool or table stall is resolved by
+        // finishing ready tasks, like the real machine.
+        let td = loop {
+            match engine.admit(0xF, tag, task.params.clone()) {
+                Ok((td, _)) => break td,
+                Err(PoolError::PoolFull { .. }) => {
+                    finish_one(
+                        &mut engine,
+                        &mut oracle,
+                        &mut engine_ready,
+                        &mut td_of_tag,
+                        &mut rng,
+                    );
+                }
+                Err(e @ PoolError::TaskTooLarge { .. }) => {
+                    panic!("generator produced an unexecutable task: {e:?}")
+                }
+            }
+        };
+        td_of_tag.insert(tag, td);
+        let ready = loop {
+            match engine.check(td) {
+                CheckProgress::Done { ready, .. } => break ready,
+                CheckProgress::Stalled { .. } => {
+                    finish_one(
+                        &mut engine,
+                        &mut oracle,
+                        &mut engine_ready,
+                        &mut td_of_tag,
+                        &mut rng,
+                    );
+                }
+            }
+        };
+        if ready {
+            engine_ready.insert(tag);
+        }
+        let (oid, _oracle_ready) = oracle.submit(&task.params);
+        assert_eq!(oid as u64, tag);
+
+        // Ready sets must agree exactly.
+        let oracle_ready: BTreeSet<u64> =
+            oracle.ready_set().into_iter().map(|i| i as u64).collect();
+        assert_eq!(
+            engine_ready, oracle_ready,
+            "ready sets diverge after submitting task {tag}"
+        );
+        engine.table().check_invariants();
+    }
+
+    // Drain everything.
+    while !engine_ready.is_empty() {
+        finish_one(
+            &mut engine,
+            &mut oracle,
+            &mut engine_ready,
+            &mut td_of_tag,
+            &mut rng,
+        );
+        let oracle_ready: BTreeSet<u64> =
+            oracle.ready_set().into_iter().map(|i| i as u64).collect();
+        assert_eq!(engine_ready, oracle_ready, "ready sets diverge during drain");
+    }
+    assert!(oracle.all_done(), "oracle has unfinished tasks");
+    assert_eq!(engine.in_flight(), 0);
+    assert_eq!(engine.table().occupied(), 0, "leaked dependence entries");
+    assert_eq!(engine.pool().in_use(), 0, "leaked descriptors");
+    engine.table().check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Roomy growable configuration: pure protocol semantics.
+    #[test]
+    fn engine_matches_oracle_unbounded(
+        tasks in prop::collection::vec(task_strategy(10, 5), 1..60),
+        seed in any::<u64>(),
+    ) {
+        run_differential(&tasks, &NexusConfig::unbounded(), seed);
+    }
+
+    /// Tiny fixed configuration: dummy tasks, dummy entries, relocations,
+    /// pool-full and table-full paths all exercised.
+    #[test]
+    fn engine_matches_oracle_tiny_fixed(
+        tasks in prop::collection::vec(task_strategy(8, 5), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = NexusConfig {
+            task_pool_entries: 6,
+            params_per_td: 3,
+            dep_table_entries: 24,
+            kickoff_entries: 2,
+            growable: false,
+        };
+        run_differential(&tasks, &cfg, seed);
+    }
+
+    /// Wide address space: low collision, checks the absent/insert path
+    /// and chain maintenance under scattered hashing.
+    #[test]
+    fn engine_matches_oracle_wide(
+        tasks in prop::collection::vec(task_strategy(2000, 4), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let cfg = NexusConfig {
+            task_pool_entries: 64,
+            params_per_td: 4,
+            dep_table_entries: 128,
+            kickoff_entries: 4,
+            growable: false,
+        };
+        run_differential(&tasks, &cfg, seed);
+    }
+}
+
+/// A long deterministic soak: heavier than the proptest cases, exercising
+/// thousands of tasks through the tiny configuration.
+#[test]
+fn soak_tiny_config_deterministic() {
+    let mut rng = Rng::new(0xDEAD_BEEF);
+    let mut tasks = Vec::new();
+    for _ in 0..2000 {
+        let n = 1 + rng.gen_range(5) as usize;
+        let params: Vec<Param> = (0..n)
+            .map(|_| {
+                let addr = 0x1000 + rng.gen_range(12) * 64;
+                let mode = match rng.gen_range(3) {
+                    0 => AccessMode::In,
+                    1 => AccessMode::Out,
+                    _ => AccessMode::InOut,
+                };
+                Param::new(addr, 16, mode)
+            })
+            .collect();
+        tasks.push(GenTask {
+            params: normalize_params(&params),
+        });
+    }
+    let cfg = NexusConfig {
+        task_pool_entries: 8,
+        params_per_td: 3,
+        dep_table_entries: 20,
+        kickoff_entries: 2,
+        growable: false,
+    };
+    run_differential(&tasks, &cfg, 42);
+}

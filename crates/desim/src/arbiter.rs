@@ -1,0 +1,110 @@
+//! Round-robin arbitration.
+//!
+//! The `Send TDs` and `Handle Finished` blocks of the Task Maestro "work in
+//! a round-robin fashion": they continuously scan the request/notification
+//! signals of the worker cores and serve the next active one. The paper
+//! also uses round-robin task placement via the `Worker Cores IDs` list.
+//! [`RoundRobinArbiter`] captures the scan: starting after the last grantee,
+//! find the first index whose request line is active.
+
+/// A round-robin scanner over `n` request lines.
+#[derive(Debug, Clone)]
+pub struct RoundRobinArbiter {
+    n: usize,
+    /// Index after which the next scan starts (last granted index).
+    last: usize,
+    grants: u64,
+}
+
+impl RoundRobinArbiter {
+    /// An arbiter over `n` lines. The first scan starts at line 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "arbiter needs at least one line");
+        RoundRobinArbiter {
+            n,
+            last: n - 1, // so the first grant scan starts at 0
+            grants: 0,
+        }
+    }
+
+    /// Number of lines.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.n
+    }
+
+    /// Total grants issued.
+    #[inline]
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Scan the lines round-robin and grant the first one for which
+    /// `active(i)` returns true. Returns the granted line, advancing the
+    /// scan position, or `None` if no line is active.
+    pub fn grant<F: FnMut(usize) -> bool>(&mut self, mut active: F) -> Option<usize> {
+        for off in 1..=self.n {
+            let i = (self.last + off) % self.n;
+            if active(i) {
+                self.last = i;
+                self.grants += 1;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Like [`grant`](Self::grant) but over an explicit slice of request
+    /// flags.
+    pub fn grant_flags(&mut self, flags: &[bool]) -> Option<usize> {
+        debug_assert_eq!(flags.len(), self.n);
+        self.grant(|i| flags[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_rotation_over_all_active() {
+        let mut a = RoundRobinArbiter::new(4);
+        let all = [true; 4];
+        let seq: Vec<_> = (0..8).map(|_| a.grant_flags(&all).unwrap()).collect();
+        assert_eq!(seq, [0, 1, 2, 3, 0, 1, 2, 3]);
+        assert_eq!(a.grants(), 8);
+    }
+
+    #[test]
+    fn skips_inactive_lines() {
+        let mut a = RoundRobinArbiter::new(4);
+        let flags = [false, true, false, true];
+        assert_eq!(a.grant_flags(&flags), Some(1));
+        assert_eq!(a.grant_flags(&flags), Some(3));
+        assert_eq!(a.grant_flags(&flags), Some(1));
+    }
+
+    #[test]
+    fn none_when_idle() {
+        let mut a = RoundRobinArbiter::new(3);
+        assert_eq!(a.grant_flags(&[false; 3]), None);
+        assert_eq!(a.grants(), 0);
+    }
+
+    #[test]
+    fn resumes_after_last_grantee() {
+        let mut a = RoundRobinArbiter::new(5);
+        assert_eq!(a.grant_flags(&[true, false, false, false, false]), Some(0));
+        // Line 0 is still active but 2 is next in rotation order.
+        assert_eq!(a.grant_flags(&[true, false, true, false, false]), Some(2));
+        assert_eq!(a.grant_flags(&[true, false, true, false, false]), Some(0));
+    }
+
+    #[test]
+    fn single_line() {
+        let mut a = RoundRobinArbiter::new(1);
+        assert_eq!(a.grant_flags(&[true]), Some(0));
+        assert_eq!(a.grant_flags(&[true]), Some(0));
+        assert_eq!(a.grant_flags(&[false]), None);
+    }
+}

@@ -1,0 +1,205 @@
+//! Bounded FIFO lists with occupancy statistics.
+//!
+//! Nexus++ is plumbed together almost entirely with FIFO lists (`TDs Sizes`,
+//! `New Tasks`, `TP Free indices`, `Global Ready Tasks`, `Worker Cores IDs`,
+//! per-core `CiRdyTasks`/`CiFinTasks`). A full list stalls its producer —
+//! e.g. "If this list is full, the Master Core stalls and stops sending new
+//! Task Descriptors". [`Fifo`] models exactly that: a capacity-bounded queue
+//! whose `push` fails (returning the item) when full, plus high-water and
+//! throughput statistics used in the evaluation reports.
+
+use std::collections::VecDeque;
+
+/// Error returned by [`Fifo::push`] when the list is full; carries the
+/// rejected item back to the caller so it can retry after a wake-up.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FifoFull<T>(pub T);
+
+/// A bounded FIFO with statistics.
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    name: &'static str,
+    cap: usize,
+    q: VecDeque<T>,
+    /// Largest occupancy ever observed.
+    high_water: usize,
+    /// Total number of successful pushes.
+    pushes: u64,
+    /// Number of rejected pushes (producer stalls).
+    rejects: u64,
+}
+
+impl<T> Fifo<T> {
+    /// A new FIFO holding at most `cap` items. `name` labels statistics.
+    pub fn new(name: &'static str, cap: usize) -> Self {
+        assert!(cap > 0, "FIFO {name} must have non-zero capacity");
+        Fifo {
+            name,
+            cap,
+            q: VecDeque::with_capacity(cap.min(4096)),
+            high_water: 0,
+            pushes: 0,
+            rejects: 0,
+        }
+    }
+
+    /// The list's label.
+    #[inline]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Capacity in items.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// True if at capacity (producer must stall).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.q.len() >= self.cap
+    }
+
+    /// Remaining free slots.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.cap - self.q.len()
+    }
+
+    /// Append `item`, or return it in `FifoFull` if the list is full.
+    #[inline]
+    pub fn push(&mut self, item: T) -> Result<(), FifoFull<T>> {
+        if self.is_full() {
+            self.rejects += 1;
+            return Err(FifoFull(item));
+        }
+        self.q.push_back(item);
+        self.pushes += 1;
+        if self.q.len() > self.high_water {
+            self.high_water = self.q.len();
+        }
+        Ok(())
+    }
+
+    /// Append `item`, panicking if full. For lists whose producers are
+    /// structurally unable to overflow them (e.g. `TP Free indices`, which
+    /// can never hold more than `Task Pool` entries).
+    #[inline]
+    pub fn push_expect(&mut self, item: T) {
+        if self.push(item).is_err() {
+            panic!("FIFO {} overflow (cap {})", self.name, self.cap);
+        }
+    }
+
+    /// Remove and return the head item.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        self.q.pop_front()
+    }
+
+    /// Peek at the head item.
+    #[inline]
+    pub fn peek(&self) -> Option<&T> {
+        self.q.front()
+    }
+
+    /// Iterate items from head to tail (diagnostics only).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.q.iter()
+    }
+
+    /// Largest occupancy ever observed.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Number of successful pushes.
+    #[inline]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Number of rejected pushes (each represents a producer stall attempt).
+    #[inline]
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Drop all contents (statistics retained).
+    pub fn clear(&mut self) {
+        self.q.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_order() {
+        let mut f = Fifo::new("t", 3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_item() {
+        let mut f = Fifo::new("t", 2);
+        f.push(10).unwrap();
+        f.push(11).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push(12), Err(FifoFull(12)));
+        assert_eq!(f.rejects(), 1);
+        f.pop();
+        f.push(12).unwrap();
+        assert_eq!(f.pop(), Some(11));
+        assert_eq!(f.pop(), Some(12));
+    }
+
+    #[test]
+    fn statistics() {
+        let mut f = Fifo::new("t", 4);
+        for i in 0..3 {
+            f.push(i).unwrap();
+        }
+        f.pop();
+        f.push(9).unwrap();
+        assert_eq!(f.high_water(), 3);
+        assert_eq!(f.pushes(), 4);
+        assert_eq!(f.free(), 1);
+        assert_eq!(f.peek(), Some(&1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn push_expect_overflow_panics() {
+        let mut f = Fifo::new("t", 1);
+        f.push_expect(1);
+        f.push_expect(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new("t", 0);
+    }
+}

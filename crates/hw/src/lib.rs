@@ -1,0 +1,26 @@
+//! # nexuspp-hw — hardware timing substrates
+//!
+//! Timing models for the platform pieces the Nexus++ paper's "Task Machine"
+//! simulates around the task manager:
+//!
+//! * [`memory`] — the banked off-chip memory: 12 ns per 128-byte chunk,
+//!   32 banks with one port each, so at most 32 concurrent accessors (the
+//!   paper's contention model), or an idealized contention-free mode,
+//! * [`bus`] — the 8-byte-wide, 2 GB/s on-chip bus between the master core
+//!   and the Task Maestro, including the task-submission cost model
+//!   (5-cycle handshake + per-word transfer) and the Maestro→Task Controller
+//!   descriptor transfer,
+//! * [`sram`] — on-chip SRAM access timing (2 ns per lookup, from CACTI in
+//!   the paper); hash-table operations cost `accesses × 2 ns`,
+//! * [`storage`] — the storage-budget calculator behind Table IV and the
+//!   "all tables and FIFO lists do not exceed 210 KB" claim.
+
+pub mod bus;
+pub mod memory;
+pub mod sram;
+pub mod storage;
+
+pub use bus::BusConfig;
+pub use memory::{MemoryConfig, MemoryMode};
+pub use sram::SramTiming;
+pub use storage::StorageBudget;

@@ -1,0 +1,179 @@
+//! Storage-budget calculator (Table IV and the ≤210 KB claim).
+//!
+//! §IV-B sizes every Task Maestro structure: 78-byte Task Descriptors ×
+//! 1K = 78 KB Task Pool; 28-byte Dependence Table entries × 4K = 112 KB;
+//! 2-byte task IDs (1K tasks → 10 bits, rounded to 2 bytes) filling the
+//! `New Tasks`, `TP Free Indices` and `Global Ready Tasks` lists (2 KB
+//! each); 1-byte sizes in the `TDs Sizes` list (1 KB); 2-byte core IDs in
+//! the `Worker Cores IDs` list (2 KB for up to 512 double-buffered cores);
+//! and per-core `CxRdyTasks`/`CxFinTasks` lists of `buffering_depth` IDs
+//! (4 bytes each at depth 2).
+//!
+//! §V then claims: "All tables and FIFO lists in the Nexus++ task manager do
+//! not exceed 210 KB of memory", contrasted with Task Superscalar's 6.5 MB.
+//! [`StorageBudget`] recomputes all of this from a configuration so the
+//! claim is a checked property, not a constant.
+
+/// Byte sizes of every Nexus++ storage structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageBudget {
+    /// Task Pool: `task_pool_entries × td_bytes`.
+    pub task_pool: u64,
+    /// Dependence Table: `dep_table_entries × dt_entry_bytes`.
+    pub dep_table: u64,
+    /// `TDs Sizes` list (1 byte per pending descriptor size).
+    pub tds_sizes: u64,
+    /// `New Tasks` list (one task ID per entry).
+    pub new_tasks: u64,
+    /// `TP Free Indices` list (one pool index per entry).
+    pub tp_free: u64,
+    /// `Global Ready Tasks` list (one task ID per entry).
+    pub global_ready: u64,
+    /// `Worker Cores IDs` list (one core ID per entry).
+    pub worker_ids: u64,
+    /// All `CxRdyTasks` lists combined.
+    pub rdy_lists: u64,
+    /// All `CxFinTasks` lists combined.
+    pub fin_lists: u64,
+}
+
+/// Parameters needed to size the structures (a subset of the Task Machine
+/// configuration, kept dependency-free here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageParams {
+    /// Task Pool entries (1024 in Table IV).
+    pub task_pool_entries: u64,
+    /// Bytes per Task Descriptor (78 in Table IV).
+    pub td_bytes: u64,
+    /// Dependence Table entries (4096 in Table IV).
+    pub dep_table_entries: u64,
+    /// Bytes per Dependence Table entry (28 in Table IV).
+    pub dt_entry_bytes: u64,
+    /// Worker cores provisioned for (512 in the paper's sizing).
+    pub worker_cores: u64,
+    /// Task-buffering depth per core (2 = double buffering).
+    pub buffering_depth: u64,
+}
+
+impl Default for StorageParams {
+    fn default() -> Self {
+        StorageParams {
+            task_pool_entries: 1024,
+            td_bytes: 78,
+            dep_table_entries: 4096,
+            dt_entry_bytes: 28,
+            worker_cores: 512,
+            buffering_depth: 2,
+        }
+    }
+}
+
+/// Round a bit count up to whole bytes ("rounded up to multiples of a
+/// byte", as the paper sizes its IDs).
+fn id_bytes(distinct: u64) -> u64 {
+    let bits = 64 - (distinct.max(2) - 1).leading_zeros() as u64;
+    bits.div_ceil(8)
+}
+
+impl StorageBudget {
+    /// Compute the budget for `p`.
+    pub fn compute(p: &StorageParams) -> Self {
+        let task_id_bytes = id_bytes(p.task_pool_entries);
+        let core_id_bytes = id_bytes(p.worker_cores);
+        StorageBudget {
+            task_pool: p.task_pool_entries * p.td_bytes,
+            dep_table: p.dep_table_entries * p.dt_entry_bytes,
+            tds_sizes: p.task_pool_entries, // 1 byte per size
+            new_tasks: p.task_pool_entries * task_id_bytes,
+            tp_free: p.task_pool_entries * task_id_bytes,
+            global_ready: p.task_pool_entries * task_id_bytes,
+            worker_ids: p.worker_cores * p.buffering_depth * core_id_bytes,
+            rdy_lists: p.worker_cores * p.buffering_depth * task_id_bytes,
+            fin_lists: p.worker_cores * p.buffering_depth * task_id_bytes,
+        }
+    }
+
+    /// Total bytes across all structures.
+    pub fn total(&self) -> u64 {
+        self.task_pool
+            + self.dep_table
+            + self.tds_sizes
+            + self.new_tasks
+            + self.tp_free
+            + self.global_ready
+            + self.worker_ids
+            + self.rdy_lists
+            + self.fin_lists
+    }
+
+    /// Named rows for reporting (label, bytes).
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("Task Pool", self.task_pool),
+            ("Dependence Table", self.dep_table),
+            ("TDs Sizes list", self.tds_sizes),
+            ("New Tasks list", self.new_tasks),
+            ("TP Free Indices list", self.tp_free),
+            ("Global Ready Tasks list", self.global_ready),
+            ("Worker Cores IDs list", self.worker_ids),
+            ("CxRdyTasks lists", self.rdy_lists),
+            ("CxFinTasks lists", self.fin_lists),
+        ]
+    }
+}
+
+/// Task Superscalar's reported on-chip storage, for the §V comparison.
+pub const TASK_SUPERSCALAR_BYTES: u64 = 6_500 * 1024;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_structure_sizes() {
+        let b = StorageBudget::compute(&StorageParams::default());
+        assert_eq!(b.task_pool, 78 * 1024); // "Task Pool size 78 KB (1K TDs)"
+        assert_eq!(b.dep_table, 112 * 1024); // "112 KB (4K entries)"
+        assert_eq!(b.tds_sizes, 1024); // "TDs Sizes list size 1KB"
+        assert_eq!(b.new_tasks, 2 * 1024); // "New Tasks list size 2KB"
+        assert_eq!(b.tp_free, 2 * 1024);
+        assert_eq!(b.global_ready, 2 * 1024);
+        assert_eq!(b.worker_ids, 2 * 1024); // 512 cores × 2 × 2B
+    }
+
+    #[test]
+    fn per_core_lists_match_table_iv() {
+        let b = StorageBudget::compute(&StorageParams::default());
+        // "CxRdyTasks list size 4 Bytes" per core: depth 2 × 2-byte IDs.
+        assert_eq!(b.rdy_lists / 512, 4);
+        assert_eq!(b.fin_lists / 512, 4);
+    }
+
+    #[test]
+    fn total_under_210_kb() {
+        let b = StorageBudget::compute(&StorageParams::default());
+        assert!(
+            b.total() <= 210 * 1024,
+            "total {} B exceeds 210 KB",
+            b.total()
+        );
+        // And far below Task Superscalar's 6.5 MB.
+        assert!(b.total() * 10 < TASK_SUPERSCALAR_BYTES);
+    }
+
+    #[test]
+    fn id_width_rounding() {
+        assert_eq!(id_bytes(1024), 2); // 10 bits → 2 bytes
+        assert_eq!(id_bytes(256), 1); // 8 bits → 1 byte
+        assert_eq!(id_bytes(257), 2); // 9 bits → 2 bytes
+        assert_eq!(id_bytes(512), 2); // 9 bits → 2 bytes (paper: 512 cores)
+        assert_eq!(id_bytes(2), 1);
+    }
+
+    #[test]
+    fn rows_sum_to_total() {
+        let b = StorageBudget::compute(&StorageParams::default());
+        let sum: u64 = b.rows().iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, b.total());
+    }
+}

@@ -1,0 +1,40 @@
+//! # nexuspp-runtime — a real StarSs-like task dataflow runtime
+//!
+//! The paper's premise is that StarSs lets a programmer annotate plain
+//! function calls with `input`/`output`/`inout` clauses and have the
+//! runtime discover the task graph. There is no StarSs toolchain for Rust,
+//! so this crate provides the equivalent embedded API — and executes real
+//! closures on a thread pool, resolving dependencies with the *same*
+//! [`nexuspp_core::DependencyEngine`] the hardware model uses (in its
+//! growable software configuration). Semantics are therefore tested once
+//! (against the oracle resolver) and shared between the simulator and this
+//! runtime.
+//!
+//! ```
+//! use nexuspp_runtime::Runtime;
+//!
+//! let rt = Runtime::new(4);
+//! let a = rt.region(vec![1u64; 8]);
+//! let b = rt.region(vec![0u64; 8]);
+//! {
+//!     let (a, b) = (a.clone(), b.clone());
+//!     rt.task()
+//!         .input(&a)
+//!         .output(&b)
+//!         .spawn(move |t| {
+//!             let av = t.read(&a);
+//!             let mut bv = t.write(&b);
+//!             for (x, y) in av.iter().zip(bv.iter_mut()) {
+//!                 *y = x * 2;
+//!             }
+//!         });
+//! }
+//! rt.barrier(); // like `#pragma css barrier`
+//! assert_eq!(rt.with_data(&b, |v| v.to_vec()), vec![2u64; 8]);
+//! ```
+
+pub mod region;
+pub mod runtime;
+
+pub use region::{Region, RegionId};
+pub use runtime::{Runtime, TaskBuilder, TaskCtx};

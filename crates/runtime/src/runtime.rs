@@ -1,0 +1,360 @@
+//! The task runtime: thread pool + Nexus++ dependency engine.
+//!
+//! Submission mirrors the paper's master core: the submitting thread
+//! admits the task into the (growable, software) engine and checks its
+//! dependencies; ready tasks go straight to the worker queue, dependent
+//! ones park until a completion wakes them — the software analogue of the
+//! Kick-Off List wake-up performed by `Handle Finished`.
+
+use crate::region::{ReadGuard, Region, RegionId, WriteGuard};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nexuspp_core::pool::TdIndex;
+use nexuspp_core::{DependencyEngine, NexusConfig};
+use nexuspp_trace::normalize::normalize_params;
+use nexuspp_trace::{AccessMode, Param};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
+/// Access grants attached to a task (region, declared mode).
+type Grants = Arc<Vec<(RegionId, AccessMode)>>;
+
+struct Work {
+    td: TdIndex,
+    grants: Grants,
+    job: Job,
+    high_priority: bool,
+}
+
+/// Worker-queue token: work is available, or an orderly shutdown request.
+/// The actual work lives in the two-level ready queue so high-priority
+/// tasks (the StarSs `highpriority` clause) overtake normal ones.
+enum Msg {
+    Wake,
+    Shutdown,
+}
+
+#[derive(Default)]
+struct ReadyQueue {
+    high: VecDeque<Work>,
+    normal: VecDeque<Work>,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, work: Work) {
+        if work.high_priority {
+            self.high.push_back(work);
+        } else {
+            self.normal.push_back(work);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Work> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+}
+
+struct RtState {
+    engine: DependencyEngine,
+    parked: HashMap<u32, Work>,
+    ready: ReadyQueue,
+    submitted: u64,
+}
+
+struct Inner {
+    state: Mutex<RtState>,
+    tx: Sender<Msg>,
+    pending: Mutex<u64>,
+    quiescent: Condvar,
+    /// First task panic observed (re-raised at the next barrier).
+    panicked: Mutex<Option<String>>,
+}
+
+impl Inner {
+    fn task_finished(&self, td: TdIndex) {
+        let mut st = self.state.lock();
+        let fin = st.engine.finish(td);
+        let mut woken = 0;
+        for ready in fin.newly_ready {
+            let work = st
+                .parked
+                .remove(&ready.0)
+                .expect("woken task must be parked");
+            st.ready.push(work);
+            woken += 1;
+        }
+        drop(st);
+        for _ in 0..woken {
+            self.tx
+                .send(Msg::Wake)
+                .expect("worker channel closed while tasks in flight");
+        }
+        let mut p = self.pending.lock();
+        *p -= 1;
+        if *p == 0 {
+            self.quiescent.notify_all();
+        }
+    }
+}
+
+/// Execution context handed to every task closure. Grants access to the
+/// regions the task declared, in the declared modes.
+pub struct TaskCtx {
+    grants: Grants,
+}
+
+impl TaskCtx {
+    fn mode_of(&self, id: RegionId) -> Option<AccessMode> {
+        self.grants.iter().find(|(g, _)| *g == id).map(|(_, m)| *m)
+    }
+
+    /// Read a region declared `input` (or `inout`).
+    pub fn read<'r, T>(&self, region: &'r Region<T>) -> ReadGuard<'r, T> {
+        match self.mode_of(region.id()) {
+            Some(m) if m.reads() => region.begin_read(),
+            Some(_) => panic!("region {:?} declared write-only; use write()", region.id()),
+            None => panic!("undeclared access to region {:?}", region.id()),
+        }
+    }
+
+    /// Write a region declared `output` or `inout`.
+    pub fn write<'r, T>(&self, region: &'r Region<T>) -> WriteGuard<'r, T> {
+        match self.mode_of(region.id()) {
+            Some(m) if m.writes() => region.begin_write(),
+            Some(_) => panic!("region {:?} declared read-only; use read()", region.id()),
+            None => panic!("undeclared access to region {:?}", region.id()),
+        }
+    }
+}
+
+/// Declarative task builder (the embedded-DSL equivalent of a
+/// `#pragma css task input(...) output(...) inout(...)` annotation).
+pub struct TaskBuilder<'rt> {
+    rt: &'rt Runtime,
+    accesses: Vec<(RegionId, AccessMode)>,
+    high_priority: bool,
+}
+
+impl<'rt> TaskBuilder<'rt> {
+    /// Declare a read-only parameter.
+    pub fn input<T>(mut self, r: &Region<T>) -> Self {
+        self.accesses.push((r.id(), AccessMode::In));
+        self
+    }
+
+    /// Declare a write-only parameter.
+    pub fn output<T>(mut self, r: &Region<T>) -> Self {
+        self.accesses.push((r.id(), AccessMode::Out));
+        self
+    }
+
+    /// Declare a read-write parameter.
+    pub fn inout<T>(mut self, r: &Region<T>) -> Self {
+        self.accesses.push((r.id(), AccessMode::InOut));
+        self
+    }
+
+    /// Mark the task high priority (the StarSs `highpriority` clause):
+    /// once ready, it overtakes queued normal-priority tasks.
+    pub fn high_priority(mut self) -> Self {
+        self.high_priority = true;
+        self
+    }
+
+    /// Submit the task. It runs as soon as its dependencies allow.
+    pub fn spawn(self, f: impl FnOnce(&TaskCtx) + Send + 'static) {
+        let params: Vec<Param> = self
+            .accesses
+            .iter()
+            .map(|(id, m)| Param::new(id.0, 1, *m))
+            .collect();
+        let params = normalize_params(&params);
+        // Grants mirror the normalized (merged-mode) parameter list.
+        let grants: Grants = Arc::new(
+            params
+                .iter()
+                .map(|p| (RegionId(p.addr), p.mode))
+                .collect(),
+        );
+        let inner = &self.rt.inner;
+        {
+            let mut p = inner.pending.lock();
+            *p += 1;
+        }
+        let mut st = inner.state.lock();
+        st.submitted += 1;
+        let tag = st.submitted;
+        let (td, ready) = st
+            .engine
+            .submit(0, tag, params)
+            .expect("growable engine cannot reject");
+        let work = Work {
+            td,
+            grants,
+            job: Box::new(f),
+            high_priority: self.high_priority,
+        };
+        if ready {
+            st.ready.push(work);
+            drop(st);
+            inner.tx.send(Msg::Wake).expect("worker channel closed");
+        } else {
+            st.parked.insert(td.0, work);
+        }
+    }
+}
+
+/// The StarSs-like task dataflow runtime.
+pub struct Runtime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start a runtime with `n` worker threads.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one worker");
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let inner = Arc::new(Inner {
+            state: Mutex::new(RtState {
+                engine: DependencyEngine::new(&NexusConfig::unbounded()),
+                parked: HashMap::new(),
+                ready: ReadyQueue::default(),
+                submitted: 0,
+            }),
+            tx,
+            pending: Mutex::new(0),
+            quiescent: Condvar::new(),
+            panicked: Mutex::new(None),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("nexuspp-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                Msg::Wake => {
+                                    let work = inner
+                                        .state
+                                        .lock()
+                                        .ready
+                                        .pop()
+                                        .expect("wake token without ready work");
+                                    let ctx = TaskCtx {
+                                        grants: work.grants,
+                                    };
+                                    // Keep the runtime's bookkeeping sound
+                                    // even when a task panics: record the
+                                    // payload, finish the task, re-raise
+                                    // at the next barrier.
+                                    let result = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| (work.job)(&ctx)),
+                                    );
+                                    if let Err(payload) = result {
+                                        let msg = payload
+                                            .downcast_ref::<String>()
+                                            .cloned()
+                                            .or_else(|| {
+                                                payload
+                                                    .downcast_ref::<&str>()
+                                                    .map(|s| s.to_string())
+                                            })
+                                            .unwrap_or_else(|| "<non-string panic>".into());
+                                        inner.panicked.lock().get_or_insert(msg);
+                                    }
+                                    inner.task_finished(work.td);
+                                }
+                                Msg::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime { inner, workers }
+    }
+
+    /// Allocate a data region managed by this runtime.
+    pub fn region<T>(&self, data: Vec<T>) -> Region<T> {
+        Region::new(data)
+    }
+
+    /// Begin declaring a task.
+    pub fn task(&self) -> TaskBuilder<'_> {
+        TaskBuilder {
+            rt: self,
+            accesses: Vec::new(),
+            high_priority: false,
+        }
+    }
+
+    /// Block until every producer of `region` submitted so far has
+    /// finished — the StarSs `#pragma css wait on(...)` primitive.
+    /// Implemented as a high-priority probe task reading the region;
+    /// dependency resolution makes it wait for exactly the outstanding
+    /// writers (concurrent readers do not delay it).
+    ///
+    /// Must be called from outside task context (calling it from within a
+    /// task can deadlock if all workers block on waits).
+    pub fn wait_on<T>(&self, region: &Region<T>) {
+        let (tx, rx) = crossbeam::channel::bounded::<()>(1);
+        self.task()
+            .input(region)
+            .high_priority()
+            .spawn(move |_| {
+                let _ = tx.send(());
+            });
+        rx.recv().expect("wait_on probe vanished");
+    }
+
+    /// Wait until every submitted task has finished — the equivalent of
+    /// `#pragma css barrier`. If any task panicked since the last
+    /// barrier, the panic is re-raised here on the calling thread.
+    pub fn barrier(&self) {
+        let mut p = self.inner.pending.lock();
+        while *p > 0 {
+            self.inner.quiescent.wait(&mut p);
+        }
+        drop(p);
+        if let Some(msg) = self.inner.panicked.lock().take() {
+            panic!("task panicked: {msg}");
+        }
+    }
+
+    /// Synchronously inspect a region's data (callers should reach
+    /// quiescence first via [`barrier`](Self::barrier); concurrent writers
+    /// are caught by the region's access checker).
+    pub fn with_data<T, R>(&self, region: &Region<T>, f: impl FnOnce(&[T]) -> R) -> R {
+        let guard = region.begin_read();
+        f(&guard)
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.inner.state.lock().submitted
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Drain in-flight work (without re-raising task panics — Drop
+        // must not panic), then stop every worker and join it.
+        {
+            let mut p = self.inner.pending.lock();
+            while *p > 0 {
+                self.inner.quiescent.wait(&mut p);
+            }
+        }
+        for _ in 0..self.workers.len() {
+            let _ = self.inner.tx.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

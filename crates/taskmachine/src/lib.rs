@@ -1,0 +1,29 @@
+//! # nexuspp-taskmachine — the Task Machine full-system simulator
+//!
+//! "Nexus++ was simulated using the Task Machine, a SystemC simulator of a
+//! task-based, trace-driven multicore system." This crate is that
+//! simulator, rebuilt on the [`nexuspp_desim`] event kernel:
+//!
+//! * [`config`] — every Table IV parameter, plus the variants used in §V
+//!   (contention-free memory, zero task-prep delay, buffering-depth and
+//!   structure-size sweeps),
+//! * [`machine`] — the model itself: master core, bus, Maestro pipeline
+//!   blocks around the [`nexuspp_core`] dependency engine, per-core Task
+//!   Controllers, banked memory,
+//! * [`report`] — makespans, per-block utilization, contention and
+//!   occupancy statistics,
+//! * [`sweep`] — helpers for the paper's experiments: speedup curves over
+//!   worker counts and design-space sweeps over structure sizes,
+//! * [`analytic`] — closed-form bottleneck analysis (master rate, Maestro
+//!   stage rates, worker pool, memory banks) that the simulator must agree
+//!   with — the paper's §V/§VI reasoning as checked arithmetic.
+
+pub mod analytic;
+pub mod config;
+pub mod machine;
+pub mod report;
+pub mod sweep;
+
+pub use config::{BlockTimings, ListConfig, MachineConfig, MasterConfig};
+pub use machine::{simulate, simulate_trace, TaskMachine};
+pub use report::{BlockReport, Report, SimError};

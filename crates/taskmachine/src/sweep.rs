@@ -1,0 +1,125 @@
+//! Experiment helpers: speedup curves and design-space sweeps.
+//!
+//! Every speedup in the paper is "measured against the single core
+//! experiment" of the same configuration family (double buffering
+//! enabled), so a curve is a series of simulations differing only in
+//! `workers`, normalized by the 1-worker makespan.
+
+use crate::config::MachineConfig;
+use crate::machine::simulate;
+use crate::report::{Report, SimError};
+use nexuspp_desim::SimTime;
+use nexuspp_trace::TraceSource;
+
+/// One point of a speedup curve.
+#[derive(Debug, Clone)]
+pub struct SpeedupPoint {
+    /// Worker-core count.
+    pub workers: usize,
+    /// Makespan at this count.
+    pub makespan: SimTime,
+    /// Speedup vs the 1-worker run of the same family.
+    pub speedup: f64,
+    /// Full report (utilizations, stalls, occupancies).
+    pub report: Report,
+}
+
+/// Simulate the same workload at several worker counts and normalize by
+/// the first run. `make_source` must return a fresh, identical source per
+/// call (same seed ⇒ same trace). `configure` maps a worker count to the
+/// machine configuration (use it to toggle contention, buffering, sizes).
+pub fn speedup_curve(
+    core_counts: &[usize],
+    mut make_source: impl FnMut() -> Box<dyn TraceSource>,
+    mut configure: impl FnMut(usize) -> MachineConfig,
+) -> Result<Vec<SpeedupPoint>, SimError> {
+    assert!(!core_counts.is_empty());
+    // Baseline: single worker, same family.
+    let mut base_src = make_source();
+    let base_cfg = configure(1);
+    assert_eq!(base_cfg.workers, 1, "configure(1) must yield one worker");
+    let base = simulate(base_cfg, base_src.as_mut())?;
+    let base_makespan = base.makespan;
+
+    let mut points = Vec::with_capacity(core_counts.len());
+    for &w in core_counts {
+        let (makespan, report) = if w == 1 {
+            (base.makespan, base.clone())
+        } else {
+            let mut src = make_source();
+            let cfg = configure(w);
+            assert_eq!(cfg.workers, w);
+            let r = simulate(cfg, src.as_mut())?;
+            (r.makespan, r)
+        };
+        points.push(SpeedupPoint {
+            workers: w,
+            makespan,
+            speedup: base_makespan / makespan,
+            report,
+        });
+    }
+    Ok(points)
+}
+
+/// The worker counts the paper's figures sweep (1 through 256; Figure 8
+/// stops at 64, Figure 6 runs at a fixed 256).
+pub const PAPER_CORE_COUNTS: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Format a speedup curve as an aligned text table.
+pub fn format_curve(title: &str, points: &[SpeedupPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{title}").unwrap();
+    writeln!(out, "{:>8} {:>14} {:>10} {:>8}", "cores", "makespan", "speedup", "util").unwrap();
+    for p in points {
+        writeln!(
+            out,
+            "{:>8} {:>14} {:>10.2} {:>7.1}%",
+            p.workers,
+            p.makespan.to_string(),
+            p.speedup,
+            p.report.worker_utilization() * 100.0
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexuspp_desim::SimTime;
+    use nexuspp_trace::{MemCost, Param, TaskRecord, Trace, VecSource};
+
+    fn independent_trace(n: u64) -> Trace {
+        let tasks = (0..n)
+            .map(|i| TaskRecord {
+                id: i,
+                fptr: 1,
+                params: vec![Param::inout(0x1000 + i * 64, 16)],
+                exec: SimTime::from_us(10),
+                read: MemCost::None,
+                write: MemCost::None,
+            })
+            .collect();
+        Trace::from_tasks("ind", tasks)
+    }
+
+    #[test]
+    fn speedup_curve_normalizes_to_one_worker() {
+        let trace = independent_trace(200);
+        let points = speedup_curve(
+            &[1, 2, 4],
+            || Box::new(VecSource::new(trace.tasks.clone())),
+            MachineConfig::with_workers,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        assert!((points[0].speedup - 1.0).abs() < 1e-9);
+        assert!(points[1].speedup > 1.8, "2 workers ≈ 2×: {}", points[1].speedup);
+        assert!(points[2].speedup > 3.4, "4 workers ≈ 4×: {}", points[2].speedup);
+        let text = format_curve("test", &points);
+        assert!(text.contains("cores"));
+    }
+}

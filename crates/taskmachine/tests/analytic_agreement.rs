@@ -1,0 +1,116 @@
+//! The discrete-event simulator and the closed-form bottleneck model are
+//! two independent implementations of the same system; on steady-state
+//! workloads they must agree. This pins down the simulator's throughput
+//! behaviour far more tightly than shape assertions can.
+
+use nexuspp_desim::SimTime;
+use nexuspp_taskmachine::analytic::predict_speedup;
+use nexuspp_taskmachine::{simulate_trace, MachineConfig};
+use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+use nexuspp_workloads::{GridPattern, GridSpec};
+
+fn independent(n: u64, exec_us: u64, read_us: u64, write_us: u64) -> Trace {
+    let mk_time = |us: u64| {
+        if us == 0 {
+            MemCost::None
+        } else {
+            MemCost::Time(SimTime::from_us(us))
+        }
+    };
+    let tasks = (0..n)
+        .map(|i| TaskRecord {
+            id: i,
+            fptr: 1,
+            params: vec![
+                Param::input(0x20_0000 + i * 192, 16),
+                Param::input(0x20_0040 + i * 192, 16),
+                Param::inout(0x20_0080 + i * 192, 16),
+            ],
+            exec: SimTime::from_us(exec_us),
+            read: mk_time(read_us),
+            write: mk_time(write_us),
+        })
+        .collect();
+    Trace::from_tasks("ind", tasks)
+}
+
+/// Measure simulated speedup (vs 1 worker) and compare with the analytic
+/// prediction within `tol` relative error.
+fn check(trace: &Trace, cfg: MachineConfig, tol: f64) {
+    let base = simulate_trace(MachineConfig::with_workers(1), trace).unwrap();
+    let r = simulate_trace(cfg.clone(), trace).unwrap();
+    let measured = base.makespan / r.makespan;
+    let predicted = predict_speedup(trace, &cfg).speedup();
+    let rel = (measured - predicted).abs() / predicted;
+    assert!(
+        rel < tol,
+        "{} workers ({}): measured {measured:.2} vs predicted {predicted:.2} ({rel:.3} > {tol})",
+        cfg.workers,
+        predict_speedup(trace, &cfg).bottleneck(),
+    );
+}
+
+#[test]
+fn worker_bound_region_agrees() {
+    // Long tasks, few cores: speedup ≈ workers.
+    let trace = independent(600, 10, 0, 0);
+    for w in [2usize, 4, 8, 16] {
+        check(&trace, MachineConfig::with_workers(w), 0.08);
+    }
+}
+
+#[test]
+fn master_bound_plateau_agrees() {
+    // Tiny tasks, many cores: the master's per-task cycle sets throughput.
+    let trace = independent(4000, 1, 0, 0);
+    for w in [64usize, 128] {
+        check(&trace, MachineConfig::with_workers(w).contention_free(), 0.15);
+    }
+}
+
+#[test]
+fn memory_bound_region_agrees() {
+    // Memory-heavy tasks against 32 bank slots.
+    let trace = independent(1500, 2, 4, 2);
+    for w in [64usize, 128] {
+        check(&trace, MachineConfig::with_workers(w), 0.15);
+    }
+}
+
+#[test]
+fn paper_workload_contended_agrees() {
+    // The paper's independent benchmark: H.264 timing distribution, 64
+    // cores under contention (≈54× in the paper). The analytic model sees
+    // only means, so allow a wider band.
+    let trace = GridSpec::default().generate(GridPattern::Independent);
+    check(&trace, MachineConfig::with_workers(64), 0.2);
+}
+
+#[test]
+fn bottleneck_transitions_match_simulation() {
+    // Sweep worker counts across the worker→master transition and require
+    // the measured knee to sit where the model predicts.
+    let trace = independent(3000, 2, 0, 0);
+    let base = simulate_trace(MachineConfig::with_workers(1), &trace).unwrap();
+    let mut last_measured = 1.0f64;
+    let mut knee_measured = None;
+    let mut knee_predicted = None;
+    for w in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let cfg = MachineConfig::with_workers(w).contention_free();
+        let r = simulate_trace(cfg.clone(), &trace).unwrap();
+        let s = base.makespan / r.makespan;
+        if knee_measured.is_none() && s < last_measured * 1.5 && w > 2 {
+            knee_measured = Some(w);
+        }
+        last_measured = s;
+        let p = predict_speedup(&trace, &cfg);
+        if knee_predicted.is_none() && p.bottleneck() == "master" {
+            knee_predicted = Some(w);
+        }
+    }
+    let (m, p) = (knee_measured.unwrap_or(512), knee_predicted.unwrap_or(512));
+    assert!(
+        m == p || m == p * 2 || p == m * 2,
+        "measured knee at {m} workers, predicted at {p}"
+    );
+}

@@ -1,0 +1,145 @@
+//! Property tests of the Task Machine: every generated workload must
+//! complete, conserve tasks, respect structural bounds, and simulate
+//! deterministically — under randomized dependency structures, task
+//! timings and machine configurations.
+
+use nexuspp_core::NexusConfig;
+use nexuspp_desim::SimTime;
+use nexuspp_taskmachine::{simulate_trace, MachineConfig};
+use nexuspp_trace::normalize::normalize_params;
+use nexuspp_trace::{AccessMode, MemCost, Param, TaskRecord, Trace};
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![
+        Just(AccessMode::In),
+        Just(AccessMode::Out),
+        Just(AccessMode::InOut),
+    ]
+}
+
+fn mem_cost_strategy() -> impl Strategy<Value = MemCost> {
+    prop_oneof![
+        Just(MemCost::None),
+        (1u64..20_000).prop_map(|ns| MemCost::Time(SimTime::from_ns(ns))),
+        (1u64..65_536).prop_map(MemCost::Bytes),
+    ]
+}
+
+prop_compose! {
+    fn task_strategy()(
+        addrs in prop::collection::vec((0u64..24, mode_strategy()), 1..5),
+        exec_ns in 0u64..50_000,
+        read in mem_cost_strategy(),
+        write in mem_cost_strategy(),
+    ) -> (Vec<Param>, SimTime, MemCost, MemCost) {
+        let params: Vec<Param> = addrs
+            .into_iter()
+            .map(|(a, m)| Param::new(0x1_0000 + a * 256, 64, m))
+            .collect();
+        (normalize_params(&params), SimTime::from_ns(exec_ns), read, write)
+    }
+}
+
+fn build_trace(specs: Vec<(Vec<Param>, SimTime, MemCost, MemCost)>) -> Trace {
+    let tasks = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (params, exec, read, write))| TaskRecord {
+            id: i as u64,
+            fptr: 0xF00D,
+            params,
+            exec,
+            read,
+            write,
+        })
+        .collect();
+    Trace::from_tasks("prop", tasks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any workload completes on any sane machine, conserving task counts
+    /// and never exceeding structural capacities.
+    #[test]
+    fn machine_completes_and_conserves(
+        specs in prop::collection::vec(task_strategy(), 1..120),
+        workers in 1usize..24,
+        depth in 1usize..4,
+    ) {
+        let trace = build_trace(specs);
+        let mut cfg = MachineConfig::with_workers(workers);
+        cfg.buffering_depth = depth;
+        let n = trace.len() as u64;
+        let r = simulate_trace(cfg, &trace).expect("must complete");
+        prop_assert_eq!(r.tasks, n);
+        prop_assert_eq!(r.write_tp.ops, n);
+        prop_assert_eq!(r.handle_fin.ops, n);
+        prop_assert!(r.pool.peak_occupancy <= 1024);
+        prop_assert!(r.table.peak_occupancy <= 4096);
+        // All work is accounted inside the makespan.
+        let exec_total: SimTime = trace.tasks.iter().map(|t| t.exec).sum();
+        prop_assert!(r.worker_exec == exec_total);
+        prop_assert!(r.makespan * (workers as u64) >= exec_total);
+    }
+
+    /// Simulation is a pure function of (trace, config).
+    #[test]
+    fn machine_is_deterministic(
+        specs in prop::collection::vec(task_strategy(), 1..60),
+        workers in 1usize..16,
+    ) {
+        let trace = build_trace(specs);
+        let a = simulate_trace(MachineConfig::with_workers(workers), &trace).unwrap();
+        let b = simulate_trace(MachineConfig::with_workers(workers), &trace).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.table.inserts, b.table.inserts);
+    }
+
+    /// Tight capacities stall but never wedge: the same workload completes
+    /// on a minimal configuration with identical task counts.
+    #[test]
+    fn tiny_capacities_never_deadlock(
+        specs in prop::collection::vec(task_strategy(), 1..80),
+    ) {
+        let trace = build_trace(specs);
+        let mut cfg = MachineConfig::with_workers(3);
+        cfg.nexus = NexusConfig {
+            task_pool_entries: 8,
+            params_per_td: 3,
+            dep_table_entries: 32,
+            kickoff_entries: 2,
+            growable: false,
+        };
+        cfg.lists.tds_buffer = 2;
+        cfg.lists.tds_sizes = 4;
+        let r = simulate_trace(cfg, &trace).expect("tiny machine must still complete");
+        prop_assert_eq!(r.tasks, trace.len() as u64);
+        prop_assert!(r.pool.peak_occupancy <= 8);
+    }
+
+    /// More workers never increase the makespan (monotonicity of the
+    /// round-robin machine under identical traces).
+    #[test]
+    fn more_workers_never_hurt_independent(
+        n_tasks in 1u64..150,
+        exec_ns in 100u64..20_000,
+    ) {
+        let tasks: Vec<TaskRecord> = (0..n_tasks)
+            .map(|i| TaskRecord {
+                id: i,
+                fptr: 1,
+                params: vec![Param::inout(0x100_000 + i * 64, 16)],
+                exec: SimTime::from_ns(exec_ns),
+                read: MemCost::None,
+                write: MemCost::None,
+            })
+            .collect();
+        let trace = Trace::from_tasks("ind", tasks);
+        let m2 = simulate_trace(MachineConfig::with_workers(2), &trace).unwrap();
+        let m8 = simulate_trace(MachineConfig::with_workers(8), &trace).unwrap();
+        prop_assert!(m8.makespan <= m2.makespan);
+    }
+}

@@ -1,0 +1,116 @@
+//! Parameter-list normalization and validation.
+//!
+//! The hardware model assumes each task names a data segment at most once
+//! (the Dependence Table holds one state per (task, address) interaction; a
+//! duplicate would double-count the readers counter or the kick-off entry).
+//! Real StarSs code can legally pass the same block as both `input` and
+//! `output`; a source-to-source compiler canonicalizes that to `inout`.
+//! [`normalize_params`] performs that canonicalization, preserving first-
+//! occurrence order; [`validate_task`] reports structural problems a
+//! generator could produce.
+
+use crate::types::{Param, TaskRecord};
+
+/// Merge duplicate addresses in a parameter list into single entries with
+/// the most conservative access mode. Order of first occurrence is kept;
+/// sizes take the maximum. Quadratic in the list length, which is bounded
+/// by the per-task parameter count (≤ a few thousand for Gaussian pivots).
+pub fn normalize_params(params: &[Param]) -> Vec<Param> {
+    let mut out: Vec<Param> = Vec::with_capacity(params.len());
+    for p in params {
+        if let Some(existing) = out.iter_mut().find(|q| q.addr == p.addr) {
+            existing.mode = existing.mode.merge(p.mode);
+            existing.size = existing.size.max(p.size);
+        } else {
+            out.push(*p);
+        }
+    }
+    out
+}
+
+/// Problems detected in a task record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskIssue {
+    /// The same address appears more than once in the parameter list.
+    DuplicateAddress { addr: u64 },
+    /// A parameter has zero size (legal, but usually a generator bug).
+    ZeroSizeParam { addr: u64 },
+}
+
+/// Validate one task record, returning all issues found.
+pub fn validate_task(task: &TaskRecord) -> Vec<TaskIssue> {
+    let mut issues = Vec::new();
+    for (i, p) in task.params.iter().enumerate() {
+        if task.params[..i].iter().any(|q| q.addr == p.addr) {
+            issues.push(TaskIssue::DuplicateAddress { addr: p.addr });
+        }
+        if p.size == 0 {
+            issues.push(TaskIssue::ZeroSizeParam { addr: p.addr });
+        }
+    }
+    issues
+}
+
+/// Normalize a whole task in place (params deduplicated/merged).
+pub fn normalize_task(task: &mut TaskRecord) {
+    if validate_task(task)
+        .iter()
+        .any(|i| matches!(i, TaskIssue::DuplicateAddress { .. }))
+    {
+        task.params = normalize_params(&task.params);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AccessMode;
+    use nexuspp_desim::SimTime;
+
+    #[test]
+    fn dedupes_and_merges_modes() {
+        let params = vec![
+            Param::input(0x10, 4),
+            Param::output(0x20, 8),
+            Param::output(0x10, 16), // dup of first → inout, size 16
+        ];
+        let n = normalize_params(&params);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].addr, 0x10);
+        assert_eq!(n[0].mode, AccessMode::InOut);
+        assert_eq!(n[0].size, 16);
+        assert_eq!(n[1].addr, 0x20);
+    }
+
+    #[test]
+    fn preserves_order_without_duplicates() {
+        let params = vec![Param::input(3, 4), Param::input(1, 4), Param::input(2, 4)];
+        assert_eq!(normalize_params(&params), params);
+    }
+
+    #[test]
+    fn validation_finds_issues() {
+        let t = TaskRecord::compute_only(
+            0,
+            vec![Param::input(5, 4), Param::input(5, 4), Param::output(6, 0)],
+            SimTime::NS,
+        );
+        let issues = validate_task(&t);
+        assert!(issues.contains(&TaskIssue::DuplicateAddress { addr: 5 }));
+        assert!(issues.contains(&TaskIssue::ZeroSizeParam { addr: 6 }));
+    }
+
+    #[test]
+    fn normalize_task_only_rewrites_when_needed() {
+        let clean = TaskRecord::compute_only(0, vec![Param::input(1, 4)], SimTime::NS);
+        let mut t = clean.clone();
+        normalize_task(&mut t);
+        assert_eq!(t, clean);
+
+        let mut dup =
+            TaskRecord::compute_only(0, vec![Param::input(1, 4), Param::output(1, 4)], SimTime::NS);
+        normalize_task(&mut dup);
+        assert_eq!(dup.params.len(), 1);
+        assert_eq!(dup.params[0].mode, AccessMode::InOut);
+    }
+}

@@ -1,0 +1,132 @@
+//! Task-graph analytics.
+//!
+//! Figure 4's captions describe each benchmark by its *available
+//! parallelism over time* ("Initially there is only one task ready for
+//! execution, but this number increases until halfway execution, after
+//! which it decreases again"). [`parallelism_profile`] recomputes that
+//! curve: execute the task graph in greedy unit-time rounds (every ready
+//! task runs for exactly one round) and record the width of each round.
+//! The profile's maximum bounds achievable speedup; its mean
+//! (tasks / rounds) is the average parallelism that explains why the
+//! H.264 wavefront saturates in Figure 7.
+
+use nexuspp_core::oracle::OracleResolver;
+use nexuspp_trace::Trace;
+
+/// Summary of a task graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProfile {
+    /// Ready-set width per greedy round (the Fig 4 ramp curve).
+    pub widths: Vec<usize>,
+    /// Total tasks.
+    pub tasks: usize,
+}
+
+impl GraphProfile {
+    /// Length of the critical path in tasks (number of rounds).
+    pub fn critical_path(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Maximum available parallelism.
+    pub fn max_parallelism(&self) -> usize {
+        self.widths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average parallelism (tasks / critical path) — the quantity that
+    /// caps wavefront scalability (8160 / 306 ≈ 27 for the paper's frame).
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.widths.is_empty() {
+            0.0
+        } else {
+            self.tasks as f64 / self.widths.len() as f64
+        }
+    }
+}
+
+/// Compute the greedy-rounds parallelism profile of a trace.
+pub fn parallelism_profile(trace: &Trace) -> GraphProfile {
+    let mut oracle = OracleResolver::new();
+    for t in &trace.tasks {
+        oracle.submit(&t.params);
+    }
+    let mut widths = Vec::new();
+    while !oracle.all_done() {
+        let ready = oracle.ready_set();
+        assert!(!ready.is_empty(), "cyclic task graph");
+        widths.push(ready.len());
+        for id in ready {
+            oracle.finish(id);
+        }
+    }
+    GraphProfile {
+        widths,
+        tasks: trace.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{GridPattern, GridSpec};
+
+    #[test]
+    fn wavefront_ramp_shape() {
+        let g = GridSpec::default();
+        let p = parallelism_profile(&g.generate(GridPattern::Wavefront));
+        // Critical path for the (i,j-1)+(i-1,j+1) stencil on 120×68:
+        // max(2i + j) + 1 = 2·119 + 67 + 1 = 306.
+        assert_eq!(p.critical_path(), 306);
+        assert_eq!(p.widths[0], 1, "ramp starts with one ready task");
+        assert!((p.avg_parallelism() - 8160.0 / 306.0).abs() < 1e-9);
+        // Ramp: rises then falls.
+        let peak_at = p
+            .widths
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .unwrap()
+            .0;
+        assert!(peak_at > 50 && peak_at < 256, "peak mid-execution, at {peak_at}");
+        assert!(p.max_parallelism() >= 30);
+        assert_eq!(*p.widths.last().unwrap(), 1, "ramp ends with one task");
+    }
+
+    #[test]
+    fn horizontal_constant_width_rows() {
+        let g = GridSpec::small(6, 10);
+        let p = parallelism_profile(&g.generate(GridPattern::Horizontal));
+        // All 6 row chains advance together: 10 rounds of width 6.
+        assert_eq!(p.critical_path(), 10);
+        assert_eq!(p.max_parallelism(), 6);
+        assert!(p.widths.iter().all(|&w| w == 6));
+    }
+
+    #[test]
+    fn vertical_constant_width_cols() {
+        let g = GridSpec::small(6, 10);
+        let p = parallelism_profile(&g.generate(GridPattern::Vertical));
+        assert_eq!(p.critical_path(), 6);
+        assert!(p.widths.iter().all(|&w| w == 10));
+    }
+
+    #[test]
+    fn independent_is_one_round() {
+        let g = GridSpec::small(8, 8);
+        let p = parallelism_profile(&g.generate(GridPattern::Independent));
+        assert_eq!(p.critical_path(), 1);
+        assert_eq!(p.max_parallelism(), 64);
+    }
+
+    #[test]
+    fn gaussian_profile_alternates() {
+        use crate::gaussian::GaussianSpec;
+        let p = parallelism_profile(&GaussianSpec::new(8).trace());
+        // Figure 5: 1, n−1, 1, n−2, … pivot/update alternation.
+        assert_eq!(p.widths[0], 1);
+        assert_eq!(p.widths[1], 7);
+        assert_eq!(p.widths[2], 1);
+        assert_eq!(p.widths[3], 6);
+        assert_eq!(*p.widths.last().unwrap(), 1);
+    }
+}

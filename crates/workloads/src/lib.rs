@@ -1,0 +1,35 @@
+//! # nexuspp-workloads — the paper's benchmarks
+//!
+//! Generators for every workload in the Nexus++ evaluation (§IV-A):
+//!
+//! * [`grid`] — the 120×68-macroblock benchmarks of Figure 4: the H.264
+//!   wavefront pattern (a), the horizontal- and vertical-dependency
+//!   patterns (b)/(c) with a fixed number of parallel tasks, and the
+//!   independent-tasks benchmark used for the headline speedups,
+//! * [`timing`] — per-task execution/memory time synthesis matching the
+//!   published Cell-trace averages (11.8 µs execution, 7.5 µs memory),
+//! * [`gaussian`] — Gaussian elimination with partial pivoting (Figure 5 /
+//!   Table II): `(n²+n−2)/2` tasks, weight `n+1−i` FLOPs on the diagonal
+//!   and `n−i` off it, streaming generation for large matrices,
+//! * [`video`] — a multi-frame H.264 extension: P-frames reference the
+//!   previous frame, so successive wavefronts pipeline and recover the
+//!   parallelism the single-frame ramp loses,
+//! * [`stress`] — synthetic stressors for the dummy-task (many-parameter)
+//!   and `ww`-flag (write-after-read) mechanisms that the paper's own
+//!   benchmarks do not reach,
+//! * [`random`] — seeded random task streams for tests and fuzzing,
+//! * [`analysis`] — task-graph analytics (parallelism profile, critical
+//!   path) used to regenerate Figure 4's ramp-effect illustration.
+
+pub mod analysis;
+pub mod gaussian;
+pub mod grid;
+pub mod random;
+pub mod stress;
+pub mod timing;
+pub mod video;
+
+pub use gaussian::{GaussianSource, GaussianSpec};
+pub use grid::{GridPattern, GridSpec};
+pub use timing::H264Timing;
+pub use video::VideoSpec;

@@ -1,0 +1,166 @@
+//! Gaussian elimination with partial pivoting — both for real (on the
+//! threaded runtime, verified against a sequential solver) and simulated
+//! on Nexus++ hardware (a slice of Figure 8).
+//!
+//! The task graph is the paper's Figure 5: per elimination step, one pivot
+//! task on column `i` and `n−i` update tasks that read column `i` and
+//! update their own column. The `n−i`-way fan-out of the pivot column is
+//! what overflows fixed Kick-Off Lists and motivates dummy entries.
+//!
+//! ```sh
+//! cargo run --release --example gaussian_elimination
+//! ```
+
+use nexuspp::runtime::{Region, Runtime};
+use nexuspp::taskmachine::{simulate, MachineConfig};
+use nexuspp::workloads::GaussianSpec;
+
+/// Sequential LU factorization with partial pivoting (column-major),
+/// returning the factored matrix for comparison.
+fn sequential_ge(mut cols: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let n = cols.len();
+    for i in 0..n {
+        // Pivot: find the row with max |col_i[r]| for r ≥ i.
+        let (mut pr, mut pv) = (i, cols[i][i].abs());
+        for (r, v) in cols[i].iter().enumerate().skip(i + 1) {
+            if v.abs() > pv {
+                pr = r;
+                pv = v.abs();
+            }
+        }
+        if pr != i {
+            // Deferred interchange as in LINPACK's dgefa: only the active
+            // trailing columns swap (the task graph does the same — column
+            // j applies step i's interchange inside task T_ji).
+            for col in cols[i..].iter_mut() {
+                col.swap(i, pr);
+            }
+        }
+        let piv = cols[i][i];
+        if piv == 0.0 {
+            continue;
+        }
+        for v in cols[i][i + 1..n].iter_mut() {
+            *v /= piv;
+        }
+        // Update trailing columns.
+        let (pivot_col, rest) = cols[i..].split_first_mut().expect("i < n");
+        for col in rest {
+            let m = col[i];
+            for (v, l) in col[i + 1..n].iter_mut().zip(&pivot_col[i + 1..n]) {
+                *v -= l * m;
+            }
+        }
+    }
+    cols
+}
+
+/// The same factorization as a task graph on the runtime. One region per
+/// column; a shared "pivot row index" region carries the interchange
+/// decision from the pivot task to the update tasks (declared inout/input
+/// so the dataflow is explicit).
+fn parallel_ge(rt: &Runtime, cols: &[Region<f64>], pivots: &[Region<usize>]) {
+    let n = cols.len();
+    for i in 0..n {
+        // Pivot task T_ii: search + swap + scale column i.
+        {
+            let ci = cols[i].clone();
+            let pi = pivots[i].clone();
+            rt.task().inout(&cols[i]).output(&pivots[i]).spawn(move |t| {
+                let mut c = t.write(&ci);
+                let (mut pr, mut pv) = (i, c[i].abs());
+                for r in i + 1..c.len() {
+                    if c[r].abs() > pv {
+                        pr = r;
+                        pv = c[r].abs();
+                    }
+                }
+                c.swap(i, pr);
+                let piv = c[i];
+                if piv != 0.0 {
+                    for r in i + 1..c.len() {
+                        c[r] /= piv;
+                    }
+                }
+                t.write(&pi)[0] = pr;
+            });
+        }
+        // Update tasks T_ji: apply the interchange and the elimination.
+        for j in i + 1..n {
+            let ci = cols[i].clone();
+            let cj = cols[j].clone();
+            let pi = pivots[i].clone();
+            rt.task()
+                .input(&cols[i])
+                .input(&pivots[i])
+                .inout(&cols[j])
+                .spawn(move |t| {
+                    let l = t.read(&ci);
+                    let pr = t.read(&pi)[0];
+                    let mut c = t.write(&cj);
+                    c.swap(i, pr);
+                    let m = c[i];
+                    for r in i + 1..c.len() {
+                        c[r] -= l[r] * m;
+                    }
+                });
+        }
+    }
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Part 1 — real factorization on the threaded runtime.
+    // ------------------------------------------------------------------
+    const N: usize = 48;
+    let mut seed = 0x5EEDu64;
+    let mut next = || {
+        // xorshift64* — deterministic test matrix.
+        seed ^= seed >> 12;
+        seed ^= seed << 25;
+        seed ^= seed >> 27;
+        (seed.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let cols: Vec<Vec<f64>> = (0..N).map(|_| (0..N).map(|_| next()).collect()).collect();
+
+    let reference = sequential_ge(cols.clone());
+
+    let rt = Runtime::new(8);
+    let regions: Vec<Region<f64>> = cols.iter().map(|c| rt.region(c.clone())).collect();
+    let pivots: Vec<Region<usize>> = (0..N).map(|_| rt.region(vec![0usize])).collect();
+    parallel_ge(&rt, &regions, &pivots);
+    rt.barrier();
+
+    let mut max_err = 0.0f64;
+    for (j, r) in regions.iter().enumerate() {
+        rt.with_data(r, |c| {
+            for (x, y) in c.iter().zip(&reference[j]) {
+                max_err = max_err.max((x - y).abs());
+            }
+        });
+    }
+    println!("parallel GE ({N}×{N}) vs sequential: max |Δ| = {max_err:.3e}");
+    assert!(max_err < 1e-12, "parallel factorization diverged");
+    println!("runtime factorization matches the sequential solver.");
+
+    // ------------------------------------------------------------------
+    // Part 2 — the same task-graph shape on simulated Nexus++ hardware.
+    // ------------------------------------------------------------------
+    println!("\nsimulated speedups (Figure 8 slice, memory contention on):");
+    for n in [250u32, 500] {
+        let spec = GaussianSpec::new(n);
+        let mut src = spec.source();
+        let base = simulate(MachineConfig::with_workers(1), &mut src).unwrap();
+        print!("  n={n:>4} ({} tasks): ", spec.task_count());
+        for cores in [2usize, 4, 8, 16, 32, 64] {
+            let mut src = spec.source();
+            let r = simulate(MachineConfig::with_workers(cores), &mut src).unwrap();
+            print!("{}c={:.1}x ", cores, base.makespan / r.makespan);
+        }
+        println!();
+    }
+    println!(
+        "\nfine-grained matrices saturate early (manager-limited); the paper's \
+         n=5000 case reaches ≈45x at 64 cores (run `repro fig8 --full`)."
+    );
+}

@@ -1,0 +1,68 @@
+//! H.264 macroblock wavefront decoding (the paper's flagship workload).
+//!
+//! Reproduces a slice of Figure 7: the speedup of the 120×68-macroblock
+//! wavefront versus independent tasks, under memory contention, with
+//! double buffering — and shows the ramp effect that limits it.
+//!
+//! ```sh
+//! cargo run --release --example h264_wavefront
+//! ```
+
+use nexuspp::baseline::ideal_makespan;
+use nexuspp::hw::MemoryConfig;
+use nexuspp::taskmachine::{simulate_trace, MachineConfig};
+use nexuspp::workloads::analysis::parallelism_profile;
+use nexuspp::workloads::{GridPattern, GridSpec};
+
+fn main() {
+    let spec = GridSpec::default();
+    let wavefront = spec.generate(GridPattern::Wavefront);
+    let independent = spec.generate(GridPattern::Independent);
+
+    // The ramp effect (Fig 4a): available parallelism over time.
+    let profile = parallelism_profile(&wavefront);
+    println!(
+        "wavefront structure: {} tasks, critical path {}, peak parallelism {}, avg {:.1}",
+        profile.tasks,
+        profile.critical_path(),
+        profile.max_parallelism(),
+        profile.avg_parallelism()
+    );
+    let w = &profile.widths;
+    println!(
+        "ramp: round 0 → {} ready; round {} → {} ready; final round → {} ready",
+        w[0],
+        w.len() / 2,
+        w[w.len() / 2],
+        w[w.len() - 1]
+    );
+
+    println!("\nspeedup vs one core (memory contention on, double buffering):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "cores", "wavefront", "independent", "ideal-wf"
+    );
+    let base_wf = simulate_trace(MachineConfig::with_workers(1), &wavefront).unwrap();
+    let base_ind = simulate_trace(MachineConfig::with_workers(1), &independent).unwrap();
+    let mem = MemoryConfig::default();
+    let mut src = wavefront.clone().into_source();
+    let ideal1 = ideal_makespan(&mut src, 1, &mem);
+    for cores in [2, 4, 8, 16, 32, 64, 128] {
+        let wf = simulate_trace(MachineConfig::with_workers(cores), &wavefront).unwrap();
+        let ind = simulate_trace(MachineConfig::with_workers(cores), &independent).unwrap();
+        let mut src = wavefront.clone().into_source();
+        let ideal = ideal1 / ideal_makespan(&mut src, cores, &mem);
+        println!(
+            "{:>6} {:>11.1}x {:>11.1}x {:>9.1}x",
+            cores,
+            base_wf.makespan / wf.makespan,
+            base_ind.makespan / ind.makespan,
+            ideal
+        );
+    }
+    println!(
+        "\nthe wavefront saturates near its ramp-limited parallelism while the \
+         independent benchmark runs into the 32-bank memory ceiling — exactly \
+         the Figure 7 contrast."
+    );
+}

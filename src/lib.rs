@@ -1,0 +1,30 @@
+//! # nexuspp — reproduction of the Nexus++ hardware task manager
+//!
+//! Umbrella crate for the reproduction of *"Hardware-Based Task Dependency
+//! Resolution for the StarSs Programming Model"* (Dallou & Juurlink, ICPP
+//! Workshops 2012). It re-exports the workspace crates under stable module
+//! names so applications can depend on a single crate:
+//!
+//! * [`desim`] — discrete-event simulation kernel (SystemC substitute),
+//! * [`hw`] — memory/bus/SRAM timing models and storage budgets,
+//! * [`trace`] — task descriptor and trace data model,
+//! * [`workloads`] — the paper's benchmark generators,
+//! * [`core`] — the Nexus++ task pool, dependence table and resolution
+//!   protocol (the paper's primary contribution),
+//! * [`taskmachine`] — the full-system "Task Machine" simulator,
+//! * [`runtime`] — a real threaded StarSs-like runtime built on the same
+//!   resolution semantics,
+//! * [`baseline`] — the original-Nexus limits model and a software-RTS
+//!   timing model.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use nexuspp_baseline as baseline;
+pub use nexuspp_core as core;
+pub use nexuspp_desim as desim;
+pub use nexuspp_hw as hw;
+pub use nexuspp_runtime as runtime;
+pub use nexuspp_taskmachine as taskmachine;
+pub use nexuspp_trace as trace;
+pub use nexuspp_workloads as workloads;
