@@ -82,7 +82,11 @@ pub fn ideal_makespan(source: &mut dyn TraceSource, cores: usize, mem: &MemoryCo
             None => break,
         }
     }
-    assert_eq!(engine.in_flight(), 0, "ideal schedule left tasks unfinished");
+    assert_eq!(
+        engine.in_flight(),
+        0,
+        "ideal schedule left tasks unfinished"
+    );
     makespan
 }
 
@@ -119,15 +123,13 @@ mod tests {
     #[test]
     fn independent_tasks_pack_perfectly() {
         let tasks: Vec<TaskRecord> = (0..16)
-            .map(|i| {
-                TaskRecord {
-                    id: i,
-                    fptr: 1,
-                    params: vec![Param::inout(0x100 + i * 64, 8)],
-                    exec: SimTime::from_us(5),
-                    read: MemCost::None,
-                    write: MemCost::None,
-                }
+            .map(|i| TaskRecord {
+                id: i,
+                fptr: 1,
+                params: vec![Param::inout(0x100 + i * 64, 8)],
+                exec: SimTime::from_us(5),
+                read: MemCost::None,
+                write: MemCost::None,
             })
             .collect();
         let tr = Trace::from_tasks("ind", tasks);

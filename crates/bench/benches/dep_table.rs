@@ -56,12 +56,14 @@ fn bench_dep_table(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut t = DepTable::new(&cfg(4096, 8));
-                t.check_param(TdIndex(0), 0xAA00, 8, AccessMode::Out).unwrap();
+                t.check_param(TdIndex(0), 0xAA00, 8, AccessMode::Out)
+                    .unwrap();
                 t
             },
             |mut t| {
                 for i in 1..=64u32 {
-                    t.check_param(TdIndex(i), 0xAA00, 8, AccessMode::In).unwrap();
+                    t.check_param(TdIndex(i), 0xAA00, 8, AccessMode::In)
+                        .unwrap();
                 }
                 let woken = t.finish_param(0xAA00, AccessMode::Out);
                 assert_eq!(woken.woken.len(), 64);

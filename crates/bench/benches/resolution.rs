@@ -23,7 +23,9 @@ fn bench_resolution(c: &mut Criterion) {
                     // Keep the in-flight window inside the 1K pool
                     // (steady-state behaviour of the real machine).
                     while e.in_flight() >= 512 {
-                        let td = ready.pop().expect("wavefront window always has ready tasks");
+                        let td = ready
+                            .pop()
+                            .expect("wavefront window always has ready tasks");
                         ready.extend(e.finish(td).newly_ready);
                     }
                     let (td, r) = e.submit(t.fptr, t.id, t.params.clone()).unwrap();
@@ -47,7 +49,9 @@ fn bench_resolution(c: &mut Criterion) {
                 let mut ready = Vec::new();
                 for t in &trace.tasks {
                     while o.submitted() - o.finished() >= 512 {
-                        let id = ready.pop().expect("wavefront window always has ready tasks");
+                        let id = ready
+                            .pop()
+                            .expect("wavefront window always has ready tasks");
                         ready.extend(o.finish(id));
                     }
                     let (id, r) = o.submit(&t.params);

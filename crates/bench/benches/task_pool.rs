@@ -7,7 +7,9 @@ use nexuspp_core::NexusConfig;
 use nexuspp_trace::Param;
 
 fn params(n: usize, base: u64) -> Vec<Param> {
-    (0..n).map(|i| Param::input(base + i as u64 * 8, 4)).collect()
+    (0..n)
+        .map(|i| Param::input(base + i as u64 * 8, 4))
+        .collect()
 }
 
 fn bench_task_pool(c: &mut Criterion) {

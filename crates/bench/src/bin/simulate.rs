@@ -29,7 +29,9 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let num = |it: &mut std::slice::Iter<String>| -> usize {
-            it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            it.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| usage())
         };
         match a.as_str() {
             "--workers" => cfg.workers = num(&mut it),

@@ -158,7 +158,10 @@ pub fn table4(_opts: &ExpOptions) -> Experiment {
     ]);
     params.row(vec![
         "Off-chip access time".to_string(),
-        format!("{} / {} B chunk", cfg.memory.chunk_time, cfg.memory.chunk_bytes),
+        format!(
+            "{} / {} B chunk",
+            cfg.memory.chunk_time, cfg.memory.chunk_bytes
+        ),
     ]);
     params.row(vec![
         "Memory bandwidth".to_string(),
@@ -220,7 +223,11 @@ pub fn table4(_opts: &ExpOptions) -> Experiment {
             format!(
                 "total {:.1} KB — paper claims ≤ 210 KB: {}",
                 total_kb,
-                if budget.total() <= 210 * 1024 { "HOLDS" } else { "VIOLATED" }
+                if budget.total() <= 210 * 1024 {
+                    "HOLDS"
+                } else {
+                    "VIOLATED"
+                }
             ),
             format!(
                 "Task Superscalar uses {} KB (≈{}× more)",
@@ -470,11 +477,8 @@ pub fn fig8(opts: &ExpOptions) -> Experiment {
     let biggest = *sizes.last().expect("nonempty");
     let spec = GaussianSpec::new(biggest);
     let mut src = spec.source();
-    let base_cf = simulate(
-        MachineConfig::with_workers(1).contention_free(),
-        &mut src,
-    )
-    .expect("fig8 cf base");
+    let base_cf =
+        simulate(MachineConfig::with_workers(1).contention_free(), &mut src).expect("fig8 cf base");
     let mut cf = TextTable::new(vec![
         "cores",
         "contended speedup",
@@ -484,7 +488,8 @@ pub fn fig8(opts: &ExpOptions) -> Experiment {
         let mut src = spec.source();
         let r_cf = simulate(MachineConfig::with_workers(w).contention_free(), &mut src)
             .expect("fig8 cf point");
-        let contended = cols.last().expect("nonempty")[counts.iter().position(|&c| c == w).unwrap()];
+        let contended =
+            cols.last().expect("nonempty")[counts.iter().position(|&c| c == w).unwrap()];
         cf.row(vec![
             w.to_string(),
             f2(contended),
@@ -497,10 +502,7 @@ pub fn fig8(opts: &ExpOptions) -> Experiment {
         title: "Gaussian elimination speedup per matrix size".into(),
         tables: vec![
             ("Figure 8 (literal memory model, contention on)".into(), t),
-            (
-                format!("n={biggest}: memory-contention sensitivity"),
-                cf,
-            ),
+            (format!("n={biggest}: memory-contention sensitivity"), cf),
         ],
         notes: vec![
             "paper: n=5000 reaches 45× at 64 cores; n=250 reaches 2.3× at 4 cores and \
@@ -746,8 +748,8 @@ pub fn ablate(opts: &ExpOptions) -> Experiment {
             }),
         ),
     ] {
-        let mut cfg = MachineConfig::with_workers(if opts.quick { 64 } else { 256 })
-            .contention_free();
+        let mut cfg =
+            MachineConfig::with_workers(if opts.quick { 64 } else { 256 }).contention_free();
         mutate(&mut cfg);
         let r = simulate_trace(cfg, &ind).expect("bus point");
         bus_t.row(vec![name.to_string(), f2(base.makespan / r.makespan)]);
@@ -778,7 +780,10 @@ pub fn ablate(opts: &ExpOptions) -> Experiment {
         id: "ablate",
         title: format!("Design ablations ({workers} cores)"),
         tables: vec![
-            ("Task-buffering depth (§III double buffering)".into(), depth_t),
+            (
+                "Task-buffering depth (§III double buffering)".into(),
+                depth_t,
+            ),
             ("Bus model".into(), bus_t),
             ("Kick-off list size vs dummy-entry traffic".into(), kick_t),
         ],

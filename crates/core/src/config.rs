@@ -54,7 +54,10 @@ impl NexusConfig {
     /// configurations (called by the structures' constructors).
     pub fn validate(&self) {
         assert!(self.task_pool_entries >= 2, "task pool needs ≥ 2 entries");
-        assert!(self.dep_table_entries >= 2, "dependence table needs ≥ 2 entries");
+        assert!(
+            self.dep_table_entries >= 2,
+            "dependence table needs ≥ 2 entries"
+        );
         assert!(
             self.params_per_td >= 2,
             "descriptors need ≥ 2 parameter slots (one may become a dummy pointer)"

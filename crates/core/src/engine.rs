@@ -150,7 +150,10 @@ impl DependencyEngine {
                 }
                 (c, e.params[c])
             };
-            match self.table.check_param(td, param.addr, param.size, param.mode) {
+            match self
+                .table
+                .check_param(td, param.addr, param.size, param.mode)
+            {
                 Ok((outcome, c)) => {
                     cost += c;
                     let e = self.pool.get_mut(td);
@@ -171,8 +174,15 @@ impl DependencyEngine {
     /// `Handle Finished`: release the task's parameters, wake waiters,
     /// retire the descriptor chain. Never stalls.
     pub fn finish(&mut self, td: TdIndex) -> FinishResult {
-        debug_assert!(self.is_checked(td), "finishing a task that never completed its check");
-        debug_assert_eq!(self.pool.get(td).dc, 0, "finishing a task with unresolved deps");
+        debug_assert!(
+            self.is_checked(td),
+            "finishing a task that never completed its check"
+        );
+        debug_assert_eq!(
+            self.pool.get(td).dc,
+            0,
+            "finishing a task with unresolved deps"
+        );
         let mut result = FinishResult::default();
         // Read the descriptor's I/O list (walking its dummy chain).
         result.cost += self.pool.read_params_cost(td);
@@ -232,7 +242,11 @@ mod tests {
         let mut e = engine();
         for i in 0..10u64 {
             let (_, ready) = e
-                .submit(1, i, vec![Param::input(i * 64, 4), Param::output(i * 64 + 32, 4)])
+                .submit(
+                    1,
+                    i,
+                    vec![Param::input(i * 64, 4), Param::output(i * 64 + 32, 4)],
+                )
                 .unwrap();
             assert!(ready, "task {i} has no conflicts");
         }
@@ -332,7 +346,10 @@ mod tests {
         let (t0, _) = e
             .admit(1, 0, vec![Param::output(0x111, 4), Param::output(0x222, 4)])
             .unwrap();
-        assert!(matches!(e.check(t0), CheckProgress::Done { ready: true, .. }));
+        assert!(matches!(
+            e.check(t0),
+            CheckProgress::Done { ready: true, .. }
+        ));
         // Second task: first param hits an existing entry (dependent), the
         // second needs a fresh entry → stall.
         let (t1, _) = e

@@ -92,7 +92,9 @@ enum Slot {
     Free,
     Primary(TdEntry),
     /// A dummy task: parameter overflow storage belonging to `parent`.
-    Dummy { parent: TdIndex },
+    Dummy {
+        parent: TdIndex,
+    },
 }
 
 /// Pool statistics for the evaluation reports.
@@ -171,8 +173,10 @@ impl TaskPool {
     fn grow(&mut self) {
         let old = self.slots.len();
         let add = old.max(1);
-        self.slots.extend(std::iter::repeat_with(|| Slot::Free).take(add));
-        self.free.extend((old..old + add).map(|i| TdIndex(i as u32)));
+        self.slots
+            .extend(std::iter::repeat_with(|| Slot::Free).take(add));
+        self.free
+            .extend((old..old + add).map(|i| TdIndex(i as u32)));
     }
 
     /// Admit a task (the `Write TP` block): allocate its descriptor chain
@@ -264,7 +268,9 @@ impl TaskPool {
         };
         self.free.push_back(td);
         for &d in &entry.dummies {
-            debug_assert!(matches!(self.slots[d.0 as usize], Slot::Dummy { parent } if parent == td));
+            debug_assert!(
+                matches!(self.slots[d.0 as usize], Slot::Dummy { parent } if parent == td)
+            );
             self.slots[d.0 as usize] = Slot::Free;
             self.free.push_back(d);
         }
@@ -296,7 +302,9 @@ mod tests {
     }
 
     fn params(n: usize) -> Vec<Param> {
-        (0..n).map(|i| Param::input(0x1000 + i as u64 * 8, 4)).collect()
+        (0..n)
+            .map(|i| Param::input(0x1000 + i as u64 * 8, 4))
+            .collect()
     }
 
     #[test]
@@ -363,7 +371,10 @@ mod tests {
         // 16 params → 3 descriptors > 2-entry pool.
         assert_eq!(
             pool.admit(1, 0, params(16)),
-            Err(PoolError::TaskTooLarge { needed: 3, capacity: 2 })
+            Err(PoolError::TaskTooLarge {
+                needed: 3,
+                capacity: 2
+            })
         );
     }
 

@@ -1063,9 +1063,15 @@ mod tests {
         assert_eq!(t.waiters_of(0xE0), Some(2));
         t.finish_param(0xE0, AccessMode::In);
         let r = t.finish_param(0xE0, AccessMode::In);
-        assert_eq!(r.woken.iter().map(|w| w.td).collect::<Vec<_>>(), vec![td(4)]);
+        assert_eq!(
+            r.woken.iter().map(|w| w.td).collect::<Vec<_>>(),
+            vec![td(4)]
+        );
         let r = t.finish_param(0xE0, AccessMode::InOut);
-        assert_eq!(r.woken.iter().map(|w| w.td).collect::<Vec<_>>(), vec![td(5)]);
+        assert_eq!(
+            r.woken.iter().map(|w| w.td).collect::<Vec<_>>(),
+            vec![td(5)]
+        );
         let r = t.finish_param(0xE0, AccessMode::In);
         assert!(r.deleted);
         t.check_invariants();
@@ -1170,7 +1176,10 @@ mod tests {
                     .unwrap();
             }
             for a in 0..16u64 {
-                assert!(t.finish_param(round * 1000 + a * 8, AccessMode::Out).deleted);
+                assert!(
+                    t.finish_param(round * 1000 + a * 8, AccessMode::Out)
+                        .deleted
+                );
             }
             assert_eq!(t.occupied(), 0);
         }
@@ -1181,7 +1190,8 @@ mod tests {
     fn growable_table_never_fills() {
         let mut t = DepTable::new(&NexusConfig::unbounded());
         for a in 0..5000u64 {
-            t.check_param(td(a as u32), a * 16, 8, AccessMode::Out).unwrap();
+            t.check_param(td(a as u32), a * 16, 8, AccessMode::Out)
+                .unwrap();
         }
         assert!(t.capacity() >= 5000);
         assert_eq!(t.live_addresses(), 5000);

@@ -60,10 +60,10 @@ fn run_differential(tasks: &[GenTask], cfg: &NexusConfig, seed: u64) {
     let mut engine_ready: BTreeSet<u64> = BTreeSet::new();
 
     let finish_one = |engine: &mut DependencyEngine,
-                          oracle: &mut OracleResolver,
-                          engine_ready: &mut BTreeSet<u64>,
-                          td_of_tag: &mut HashMap<u64, TdIndex>,
-                          rng: &mut Rng| {
+                      oracle: &mut OracleResolver,
+                      engine_ready: &mut BTreeSet<u64>,
+                      td_of_tag: &mut HashMap<u64, TdIndex>,
+                      rng: &mut Rng| {
         let ready: Vec<u64> = engine_ready.iter().copied().collect();
         assert!(!ready.is_empty(), "no ready task to finish (deadlock)");
         let pick = ready[rng.gen_range(ready.len() as u64) as usize];
@@ -71,11 +71,15 @@ fn run_differential(tasks: &[GenTask], cfg: &NexusConfig, seed: u64) {
         let td = td_of_tag.remove(&pick).unwrap();
         let fin = engine.finish(td);
         let oracle_newly = oracle.finish(pick as usize);
-        let engine_newly: BTreeSet<u64> = fin.newly_ready.iter().map(|&t| {
-            let tag = engine.pool().get(t).tag;
-            engine_ready.insert(tag);
-            tag
-        }).collect();
+        let engine_newly: BTreeSet<u64> = fin
+            .newly_ready
+            .iter()
+            .map(|&t| {
+                let tag = engine.pool().get(t).tag;
+                engine_ready.insert(tag);
+                tag
+            })
+            .collect();
         let oracle_newly: BTreeSet<u64> = oracle_newly.into_iter().map(|i| i as u64).collect();
         assert_eq!(
             engine_newly, oracle_newly,
@@ -146,7 +150,10 @@ fn run_differential(tasks: &[GenTask], cfg: &NexusConfig, seed: u64) {
         );
         let oracle_ready: BTreeSet<u64> =
             oracle.ready_set().into_iter().map(|i| i as u64).collect();
-        assert_eq!(engine_ready, oracle_ready, "ready sets diverge during drain");
+        assert_eq!(
+            engine_ready, oracle_ready,
+            "ready sets diverge during drain"
+        );
     }
     assert!(oracle.all_done(), "oracle has unfinished tasks");
     assert_eq!(engine.in_flight(), 0);

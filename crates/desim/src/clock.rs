@@ -73,8 +73,14 @@ mod tests {
 
     #[test]
     fn paper_clock_periods() {
-        assert_eq!(Clock::from_mhz(NEXUS_CLOCK_MHZ).period(), SimTime::from_ns(2));
-        assert_eq!(Clock::from_mhz(CORE_CLOCK_MHZ).period(), SimTime::from_ps(500));
+        assert_eq!(
+            Clock::from_mhz(NEXUS_CLOCK_MHZ).period(),
+            SimTime::from_ns(2)
+        );
+        assert_eq!(
+            Clock::from_mhz(CORE_CLOCK_MHZ).period(),
+            SimTime::from_ps(500)
+        );
     }
 
     #[test]

@@ -98,7 +98,11 @@ impl<E> Scheduler<E> {
     /// Schedule `ev` at an absolute time `at` (must not be in the past).
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, ev: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let key = Key { at, seq: self.seq };
         self.seq += 1;
         self.heap.push(Reverse((key, EventSlot(ev))));

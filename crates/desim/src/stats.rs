@@ -132,7 +132,11 @@ impl Histogram {
     /// Record one sample.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        let b = if v <= 1 { 0 } else { 64 - (v - 1).leading_zeros() as usize };
+        let b = if v <= 1 {
+            0
+        } else {
+            64 - (v - 1).leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.summary.record(v);
     }

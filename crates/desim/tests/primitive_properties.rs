@@ -30,7 +30,7 @@ proptest! {
             } else {
                 last_seq_at_time = None;
             }
-            if delays[id] == last.ps() as u64 / 1000 || t == last {
+            if delays[id] == last.ps() / 1000 || t == last {
                 last_seq_at_time = Some(id);
             }
             last = t;
@@ -121,7 +121,7 @@ proptest! {
             } else if held > 0 {
                 match p.release() {
                     Some(w) => {
-                        prop_assert_eq!(Some(w), queued.pop_front().map(|x| x));
+                        prop_assert_eq!(Some(w), queued.pop_front());
                         // Slot handed over: held count unchanged.
                     }
                     None => {

@@ -107,10 +107,10 @@ impl<T> Region<T> {
     }
 
     pub(crate) fn begin_write(&self) -> WriteGuard<'_, T> {
-        let swapped =
-            self.cell
-                .access
-                .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Acquire);
+        let swapped = self
+            .cell
+            .access
+            .compare_exchange(0, -1, Ordering::AcqRel, Ordering::Acquire);
         assert!(
             swapped.is_ok(),
             "dependency violation: writer admitted while region is in use"

@@ -172,12 +172,7 @@ impl<'rt> TaskBuilder<'rt> {
             .collect();
         let params = normalize_params(&params);
         // Grants mirror the normalized (merged-mode) parameter list.
-        let grants: Grants = Arc::new(
-            params
-                .iter()
-                .map(|p| (RegionId(p.addr), p.mode))
-                .collect(),
-        );
+        let grants: Grants = Arc::new(params.iter().map(|p| (RegionId(p.addr), p.mode)).collect());
         let inner = &self.rt.inner;
         {
             let mut p = inner.pending.lock();
@@ -303,12 +298,9 @@ impl Runtime {
     /// task can deadlock if all workers block on waits).
     pub fn wait_on<T>(&self, region: &Region<T>) {
         let (tx, rx) = crossbeam::channel::bounded::<()>(1);
-        self.task()
-            .input(region)
-            .high_priority()
-            .spawn(move |_| {
-                let _ = tx.send(());
-            });
+        self.task().input(region).high_priority().spawn(move |_| {
+            let _ = tx.send(());
+        });
         rx.recv().expect("wait_on probe vanished");
     }
 

@@ -16,20 +16,15 @@ struct Op {
 }
 
 fn op_strategy(regions: usize) -> impl Strategy<Value = Op> {
-    (
-        0..regions,
-        0..regions,
-        0..regions,
-        1u64..7,
-        prop::bool::ANY,
-    )
-        .prop_map(|(dst, src1, src2, mul, high_priority)| Op {
+    (0..regions, 0..regions, 0..regions, 1u64..7, prop::bool::ANY).prop_map(
+        |(dst, src1, src2, mul, high_priority)| Op {
             dst,
             src1,
             src2,
             mul,
             high_priority,
-        })
+        },
+    )
 }
 
 fn apply(vals: &mut [u64], op: Op) {

@@ -172,7 +172,9 @@ impl Prediction {
     fn single_core_cap(&self) -> f64 {
         // A single worker is also bounded by master + maestro rates.
         let rates = self.stage_rates();
-        rates[0].min(rates[1]).min(1.0 / (self.core_period.ps() as f64 * 1e-12))
+        rates[0]
+            .min(rates[1])
+            .min(1.0 / (self.core_period.ps() as f64 * 1e-12))
     }
 }
 
@@ -230,10 +232,7 @@ mod tests {
     #[test]
     fn many_workers_hit_master() {
         let trace = independent(100, 10, 0);
-        let p = predict_speedup(
-            &trace,
-            &MachineConfig::with_workers(512).contention_free(),
-        );
+        let p = predict_speedup(&trace, &MachineConfig::with_workers(512).contention_free());
         assert_eq!(p.bottleneck(), "master");
         assert!(p.speedup() < 512.0);
     }
@@ -250,10 +249,7 @@ mod tests {
     #[test]
     fn contention_free_removes_memory_ceiling() {
         let trace = independent(100, 2, 6);
-        let p = predict_speedup(
-            &trace,
-            &MachineConfig::with_workers(64).contention_free(),
-        );
+        let p = predict_speedup(&trace, &MachineConfig::with_workers(64).contention_free());
         assert_ne!(p.bottleneck(), "memory");
     }
 }

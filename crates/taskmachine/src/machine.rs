@@ -204,8 +204,12 @@ impl<'s> TaskMachine<'s> {
             handle_fin: BusyTracker::new(),
             fin_arb: RoundRobinArbiter::new(workers),
             free_pulse: 0,
-            rdy_lists: (0..workers).map(|_| Fifo::new("CxRdyTasks", depth)).collect(),
-            fin_lists: (0..workers).map(|_| Fifo::new("CxFinTasks", depth)).collect(),
+            rdy_lists: (0..workers)
+                .map(|_| Fifo::new("CxRdyTasks", depth))
+                .collect(),
+            fin_lists: (0..workers)
+                .map(|_| Fifo::new("CxFinTasks", depth))
+                .collect(),
             tcs: (0..workers).map(|_| Tc::default()).collect(),
             mem_slots,
             submitted: 0,
@@ -567,7 +571,10 @@ impl<'s> TaskMachine<'s> {
                     ..st
                 }
             }
-            SlotGrant::Queued => StageTask { waiting: true, ..st },
+            SlotGrant::Queued => StageTask {
+                waiting: true,
+                ..st
+            },
         }
     }
 
@@ -777,10 +784,7 @@ impl<'s> TaskMachine<'s> {
 }
 
 /// Convenience: simulate `source` under `cfg`.
-pub fn simulate(
-    cfg: MachineConfig,
-    source: &mut dyn TraceSource,
-) -> Result<Report, SimError> {
+pub fn simulate(cfg: MachineConfig, source: &mut dyn TraceSource) -> Result<Report, SimError> {
     TaskMachine::new(cfg, source).run()
 }
 

@@ -71,7 +71,12 @@ pub fn format_curve(title: &str, points: &[SpeedupPoint]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     writeln!(out, "{title}").unwrap();
-    writeln!(out, "{:>8} {:>14} {:>10} {:>8}", "cores", "makespan", "speedup", "util").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>14} {:>10} {:>8}",
+        "cores", "makespan", "speedup", "util"
+    )
+    .unwrap();
     for p in points {
         writeln!(
             out,
@@ -117,8 +122,16 @@ mod tests {
         .unwrap();
         assert_eq!(points.len(), 3);
         assert!((points[0].speedup - 1.0).abs() < 1e-9);
-        assert!(points[1].speedup > 1.8, "2 workers ≈ 2×: {}", points[1].speedup);
-        assert!(points[2].speedup > 3.4, "4 workers ≈ 4×: {}", points[2].speedup);
+        assert!(
+            points[1].speedup > 1.8,
+            "2 workers ≈ 2×: {}",
+            points[1].speedup
+        );
+        assert!(
+            points[2].speedup > 3.4,
+            "4 workers ≈ 4×: {}",
+            points[2].speedup
+        );
         let text = format_curve("test", &points);
         assert!(text.contains("cores"));
     }

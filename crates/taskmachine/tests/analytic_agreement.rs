@@ -64,7 +64,11 @@ fn master_bound_plateau_agrees() {
     // Tiny tasks, many cores: the master's per-task cycle sets throughput.
     let trace = independent(4000, 1, 0, 0);
     for w in [64usize, 128] {
-        check(&trace, MachineConfig::with_workers(w).contention_free(), 0.15);
+        check(
+            &trace,
+            MachineConfig::with_workers(w).contention_free(),
+            0.15,
+        );
     }
 }
 

@@ -158,7 +158,9 @@ fn memory_contention_throttles_many_cores() {
 
 #[test]
 fn task_too_large_is_reported() {
-    let params: Vec<Param> = (0..100).map(|i| Param::output(0x9000 + i * 64, 8)).collect();
+    let params: Vec<Param> = (0..100)
+        .map(|i| Param::output(0x9000 + i * 64, 8))
+        .collect();
     let tr = Trace::from_tasks("huge", vec![task(0, params, 1)]);
     let mut cfg = MachineConfig::with_workers(1);
     cfg.nexus = NexusConfig {
@@ -166,7 +168,11 @@ fn task_too_large_is_reported() {
         ..NexusConfig::default()
     };
     match simulate_trace(cfg, &tr) {
-        Err(SimError::TaskTooLarge { task, needed, capacity }) => {
+        Err(SimError::TaskTooLarge {
+            task,
+            needed,
+            capacity,
+        }) => {
             assert_eq!(task, 0);
             assert!(needed > capacity);
         }
@@ -266,7 +272,10 @@ fn master_stalls_counted_with_tiny_sizes_list() {
     };
     let r2 = simulate_trace(cfg2, &tr2).unwrap();
     assert!(r2.master_stalls > 0);
-    assert!(r2.write_tp.stalls > 0, "Write TP must have hit the full pool");
+    assert!(
+        r2.write_tp.stalls > 0,
+        "Write TP must have hit the full pool"
+    );
     assert_eq!(r2.tasks, 300);
 }
 
@@ -330,7 +339,10 @@ fn fast_independent_queue_speeds_up_paramless_tasks() {
     fast_cfg.fast_independent_queue = true;
     let fast = simulate_trace(fast_cfg, &tr).unwrap();
     assert_eq!(fast.tasks, 3000);
-    assert_eq!(fast.check_deps.ops, 0, "bypass must skip Check Deps entirely");
+    assert_eq!(
+        fast.check_deps.ops, 0,
+        "bypass must skip Check Deps entirely"
+    );
     assert!(
         fast.makespan < normal.makespan,
         "bypass should shorten the pipeline: {} vs {}",

@@ -174,10 +174,9 @@ pub fn read_trace(input: &mut impl BufRead) -> Result<Trace, ParseError> {
                     .ok_or_else(|| syntax(lineno, "missing size"))?
                     .parse()
                     .map_err(|e| syntax(lineno, format!("bad size: {e}")))?;
-                let mode = AccessMode::parse(
-                    toks.next().ok_or_else(|| syntax(lineno, "missing mode"))?,
-                )
-                .ok_or_else(|| syntax(lineno, "bad access mode"))?;
+                let mode =
+                    AccessMode::parse(toks.next().ok_or_else(|| syntax(lineno, "missing mode"))?)
+                        .ok_or_else(|| syntax(lineno, "bad access mode"))?;
                 task.params.push(Param { addr, size, mode });
             }
             Some(other) => return Err(syntax(lineno, format!("unknown record `{other}`"))),
@@ -255,7 +254,10 @@ mod tests {
     fn error_cases() {
         assert!(trace_from_str("").is_err());
         assert!(trace_from_str("bogus\n").is_err());
-        assert!(trace_from_str("ntr 1 x\np 1 4 in\n").is_err(), "param before task");
+        assert!(
+            trace_from_str("ntr 1 x\np 1 4 in\n").is_err(),
+            "param before task"
+        );
         assert!(trace_from_str("ntr 1 x\nt 0 zz e1 r- w-\n").is_err());
         assert!(trace_from_str("ntr 1 x\nt 0 1 e1 r- wq9\n").is_err());
         assert!(trace_from_str("ntr 1 x\nt 0 1 e1 r- w-\np 1 4 rw\n").is_err());

@@ -107,8 +107,11 @@ mod tests {
         normalize_task(&mut t);
         assert_eq!(t, clean);
 
-        let mut dup =
-            TaskRecord::compute_only(0, vec![Param::input(1, 4), Param::output(1, 4)], SimTime::NS);
+        let mut dup = TaskRecord::compute_only(
+            0,
+            vec![Param::input(1, 4), Param::output(1, 4)],
+            SimTime::NS,
+        );
         normalize_task(&mut dup);
         assert_eq!(dup.params.len(), 1);
         assert_eq!(dup.params[0].mode, AccessMode::InOut);

@@ -87,7 +87,10 @@ mod tests {
             .max_by_key(|(_, &w)| w)
             .unwrap()
             .0;
-        assert!(peak_at > 50 && peak_at < 256, "peak mid-execution, at {peak_at}");
+        assert!(
+            peak_at > 50 && peak_at < 256,
+            "peak mid-execution, at {peak_at}"
+        );
         assert!(p.max_parallelism() >= 30);
         assert_eq!(*p.widths.last().unwrap(), 1, "ramp ends with one task");
     }

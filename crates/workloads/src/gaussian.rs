@@ -204,7 +204,10 @@ mod tests {
             let ours = GaussianSpec::new(n).avg_weight();
             let rel = (ours - avg).abs() / avg;
             let tol = if n == 5000 { 0.06 } else { 0.01 };
-            assert!(rel < tol, "n = {n}: ours {ours:.1} vs paper {avg} ({rel:.3})");
+            assert!(
+                rel < tol,
+                "n = {n}: ours {ours:.1} vs paper {avg} ({rel:.3})"
+            );
         }
         // Pin the exact Formula-1 values so regressions are caught.
         assert!((GaussianSpec::new(250).avg_weight() - 166.013).abs() < 1e-3);

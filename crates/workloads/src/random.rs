@@ -59,7 +59,10 @@ impl RandomSpec {
                 write: MemCost::None,
             });
         }
-        Trace::from_tasks(format!("random-{}t-{}a", self.n_tasks, self.addr_space), tasks)
+        Trace::from_tasks(
+            format!("random-{}t-{}a", self.n_tasks, self.addr_space),
+            tasks,
+        )
     }
 }
 
@@ -76,7 +79,12 @@ mod tests {
             let mut addrs: Vec<u64> = t.params.iter().map(|p| p.addr).collect();
             addrs.sort_unstable();
             addrs.dedup();
-            assert_eq!(addrs.len(), t.params.len(), "duplicate address in task {}", t.id);
+            assert_eq!(
+                addrs.len(),
+                t.params.len(),
+                "duplicate address in task {}",
+                t.id
+            );
         }
     }
 

@@ -57,10 +57,7 @@ pub fn fan_out(k: u32, exec_ns: u64) -> Trace {
     for c in 1..=k as u64 {
         tasks.push(task(
             c,
-            vec![
-                Param::input(addr, 64),
-                Param::output(addr + c * 0x100, 64),
-            ],
+            vec![Param::input(addr, 64), Param::output(addr + c * 0x100, 64)],
             exec_ns,
         ));
     }

@@ -136,7 +136,10 @@ mod tests {
             (exec_mean - 11_800.0).abs() < 150.0,
             "exec mean drifted: {exec_mean}"
         );
-        assert!((mem_mean - 7_500.0).abs() < 100.0, "mem mean drifted: {mem_mean}");
+        assert!(
+            (mem_mean - 7_500.0).abs() < 100.0,
+            "mem mean drifted: {mem_mean}"
+        );
     }
 
     #[test]

@@ -61,7 +61,8 @@ impl VideoSpec {
     pub fn block_addr(&self, frame: u32, i: u32, j: u32) -> u64 {
         debug_assert!(frame < self.frames);
         let frame_bytes = self.grid.task_count() * self.grid.block_bytes as u64;
-        self.grid.base_addr + frame as u64 * frame_bytes
+        self.grid.base_addr
+            + frame as u64 * frame_bytes
             + (i as u64 * self.grid.cols as u64 + j as u64) * self.grid.block_bytes as u64
     }
 

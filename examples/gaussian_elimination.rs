@@ -66,24 +66,27 @@ fn parallel_ge(rt: &Runtime, cols: &[Region<f64>], pivots: &[Region<usize>]) {
         {
             let ci = cols[i].clone();
             let pi = pivots[i].clone();
-            rt.task().inout(&cols[i]).output(&pivots[i]).spawn(move |t| {
-                let mut c = t.write(&ci);
-                let (mut pr, mut pv) = (i, c[i].abs());
-                for r in i + 1..c.len() {
-                    if c[r].abs() > pv {
-                        pr = r;
-                        pv = c[r].abs();
-                    }
-                }
-                c.swap(i, pr);
-                let piv = c[i];
-                if piv != 0.0 {
+            rt.task()
+                .inout(&cols[i])
+                .output(&pivots[i])
+                .spawn(move |t| {
+                    let mut c = t.write(&ci);
+                    let (mut pr, mut pv) = (i, c[i].abs());
                     for r in i + 1..c.len() {
-                        c[r] /= piv;
+                        if c[r].abs() > pv {
+                            pr = r;
+                            pv = c[r].abs();
+                        }
                     }
-                }
-                t.write(&pi)[0] = pr;
-            });
+                    c.swap(i, pr);
+                    let piv = c[i];
+                    if piv != 0.0 {
+                        for r in i + 1..c.len() {
+                            c[r] /= piv;
+                        }
+                    }
+                    t.write(&pi)[0] = pr;
+                });
         }
         // Update tasks T_ji: apply the interchange and the elimination.
         for j in i + 1..n {

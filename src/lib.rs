@@ -17,8 +17,61 @@
 //! * [`baseline`] — the original-Nexus limits model and a software-RTS
 //!   timing model.
 //!
-//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
-//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for the workspace layout and verify commands.
+//!
+//! ## Quickstart
+//!
+//! The paper's evaluation flow end to end: generate a StarSs-style
+//! workload, let the simulated Nexus++ hardware discover its dependency
+//! graph, and measure the speedup more worker cores buy. Then run a real
+//! task graph — same resolution semantics, real threads — on the runtime.
+//!
+//! ```
+//! use nexuspp::runtime::Runtime;
+//! use nexuspp::taskmachine::{simulate_trace, MachineConfig};
+//! use nexuspp::workloads::{GridPattern, GridSpec};
+//!
+//! // A small H.264-style wavefront: every macroblock-decode task reads
+//! // its left and upper neighbours, so parallelism ramps up diagonally.
+//! let spec = GridSpec {
+//!     rows: 12,
+//!     cols: 8,
+//!     ..GridSpec::default()
+//! };
+//! let trace = spec.generate(GridPattern::Wavefront);
+//! assert_eq!(trace.len(), 12 * 8);
+//!
+//! // Cycle-level simulation of the Table IV machine, 1 vs 8 workers.
+//! let serial = simulate_trace(MachineConfig::with_workers(1), &trace).unwrap();
+//! let parallel = simulate_trace(MachineConfig::with_workers(8), &trace).unwrap();
+//! assert_eq!(serial.tasks, trace.len() as u64);
+//! assert!(parallel.makespan < serial.makespan, "wavefront must scale");
+//!
+//! // The same dependency semantics executing real closures on threads:
+//! // a two-stage pipeline wired purely by input/output declarations.
+//! let rt = Runtime::new(2);
+//! let src = rt.region(vec![1u64; 64]);
+//! let mid = rt.region(vec![0u64; 64]);
+//! let sum = rt.region(vec![0u64]);
+//! {
+//!     let (src, mid) = (src.clone(), mid.clone());
+//!     rt.task().input(&src).output(&mid).spawn(move |t| {
+//!         let s = t.read(&src);
+//!         let mut m = t.write(&mid);
+//!         for (out, inp) in m.iter_mut().zip(s.iter()) {
+//!             *out = inp * 3;
+//!         }
+//!     });
+//! }
+//! {
+//!     let (mid, sum) = (mid.clone(), sum.clone());
+//!     rt.task().input(&mid).output(&sum).spawn(move |t| {
+//!         t.write(&sum)[0] = t.read(&mid).iter().sum();
+//!     });
+//! }
+//! rt.barrier();
+//! assert_eq!(rt.with_data(&sum, |v| v[0]), 3 * 64);
+//! ```
 
 pub use nexuspp_baseline as baseline;
 pub use nexuspp_core as core;

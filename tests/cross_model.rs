@@ -20,9 +20,8 @@ fn ideal_lower_bounds_machine() {
         for cores in [1usize, 4, 16] {
             let mut src = trace.clone().into_source();
             let bound = ideal_makespan_overlapped(&mut src, cores);
-            let r =
-                simulate_trace(MachineConfig::with_workers(cores).contention_free(), &trace)
-                    .unwrap();
+            let r = simulate_trace(MachineConfig::with_workers(cores).contention_free(), &trace)
+                .unwrap();
             assert!(
                 r.makespan >= bound,
                 "{} at {cores} cores: machine {} < overlapped ideal {}",
@@ -131,7 +130,10 @@ fn everything_is_deterministic() {
     let mem = MemoryConfig::default();
     let mut s1 = trace.clone().into_source();
     let mut s2 = trace.clone().into_source();
-    assert_eq!(ideal_makespan(&mut s1, 32, &mem), ideal_makespan(&mut s2, 32, &mem));
+    assert_eq!(
+        ideal_makespan(&mut s1, 32, &mem),
+        ideal_makespan(&mut s2, 32, &mem)
+    );
 }
 
 /// The error path is part of the contract: an impossible task is reported,
@@ -157,7 +159,9 @@ fn oversized_task_reported_not_hung() {
         ..NexusConfig::default()
     };
     match simulate_trace(cfg, &trace) {
-        Err(SimError::TaskTooLarge { needed, capacity, .. }) => {
+        Err(SimError::TaskTooLarge {
+            needed, capacity, ..
+        }) => {
             assert!(needed > capacity);
         }
         other => panic!("expected TaskTooLarge, got {other:?}"),

@@ -77,14 +77,23 @@ fn figure7_shape() {
         vertical > horizontal * 2.0,
         "vertical ({vertical}) must dominate horizontal ({horizontal})"
     );
-    assert!(horizontal < 20.0, "horizontal is window-limited: {horizontal}");
-    assert!(vertical > 30.0, "vertical scales well to 64 cores: {vertical}");
+    assert!(
+        horizontal < 20.0,
+        "horizontal is window-limited: {horizontal}"
+    );
+    assert!(
+        vertical > 30.0,
+        "vertical scales well to 64 cores: {vertical}"
+    );
     assert!(
         independent > wavefront,
         "the wavefront is ramp-limited vs independent"
     );
     // The ramp bound: 8160 / 306 ≈ 26.7 caps the wavefront.
-    assert!(wavefront < 27.0, "wavefront cannot beat its avg parallelism");
+    assert!(
+        wavefront < 27.0,
+        "wavefront cannot beat its avg parallelism"
+    );
 }
 
 /// Figure 8's qualitative content: larger matrices scale further; small

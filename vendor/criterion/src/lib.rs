@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate (this workspace builds
+//! without network access — see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`, throughput annotation) with a simple best-of-N timer on
+//! `std::time::Instant`. No statistics, plots, or saved baselines — CI
+//! compiles benches with `cargo bench --no-run`; running them locally
+//! prints wall-clock estimates good enough for coarse regression spotting.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Batch sizing hints, accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (batched in criterion proper).
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration annotation used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for compatibility; the stand-in runs a fixed sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time `f`'s routine and print the best observed sample.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut best: Option<Duration> = None;
+        let mut iters_of_best = 1u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters == 0 {
+                continue;
+            }
+            let per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+            if best.is_none_or(|cur| per_iter < cur) {
+                best = Some(per_iter);
+                iters_of_best = b.iters;
+            }
+        }
+        let best = best.unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if best > Duration::ZERO => {
+                format!("  {:.1} Kelem/s", n as f64 / best.as_secs_f64() / 1e3)
+            }
+            Some(Throughput::Bytes(n)) if best > Duration::ZERO => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / best.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("  {name}: best {best:?}/iter over {iters_of_best} iters{rate}");
+        self
+    }
+
+    /// End the group (criterion finalizes reports here; the stand-in only
+    /// keeps the call site compiling).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing context.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Time `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        const ITERS: u64 = 3;
+        for _ in 0..ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+        self.iters += ITERS;
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routines() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(4));
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| 2u64, |x| x * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert!(ran >= 2);
+    }
+}

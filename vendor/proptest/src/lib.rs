@@ -1,0 +1,682 @@
+//! Offline stand-in for the `proptest` crate (this workspace builds
+//! without network access — see `vendor/README.md`).
+//!
+//! Supports the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`], [`prop_compose!`] and [`prop_oneof!`] macros,
+//! [`strategy::Strategy`] with `prop_map`/`boxed`, integer-range and
+//! regex-literal string strategies, [`arbitrary::any`],
+//! [`collection::vec`], `bool::ANY`, and `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from proptest proper in one deliberate way: cases are
+//! sampled from a fixed deterministic seed sequence and **failing inputs
+//! are not shrunk** — the failing case index is printed instead. That
+//! trades minimal counterexamples for zero dependencies and perfectly
+//! reproducible CI runs.
+
+pub mod test_runner {
+    //! Deterministic RNG and run configuration.
+
+    /// Run configuration (the `ProptestConfig` of proptest proper).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Small deterministic PRNG (splitmix64) seeding every test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is fully determined by `seed`.
+        pub fn deterministic(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinators the workspace uses.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    ///
+    /// Unlike proptest proper there is no value tree: `sample` draws a
+    /// value directly and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    trait DynSample<T> {
+        fn sample_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynSample<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// Type-erased strategy (output of [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn DynSample<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A strategy choosing uniformly among `arms`.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].sample(rng)
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (self.start as i128, self.end as i128);
+                    assert!(lo < hi, "empty range strategy");
+                    let span = (hi - lo) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (lo + off) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (lo + off) as $t
+                }
+            }
+
+            impl crate::arbitrary::Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+);)+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    /// String literals act as regex-like generators (`"[a-z0-9]{1,8}"`).
+    /// The supported pattern language is the subset the workspace uses:
+    /// character classes with ranges, `\PC` (any non-control char), escaped
+    /// literals, and `{m}`/`{m,n}` repetition.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::pattern::sample_pattern(self, rng)
+        }
+    }
+}
+
+pub mod pattern {
+    //! Tiny regex-literal sampler backing `impl Strategy for &str`.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        /// Inclusive char ranges, e.g. `[a-z0-9_]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any non-control character.
+        NonControl,
+        /// A literal character.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut items: Vec<char> = Vec::new();
+                    for d in chars.by_ref() {
+                        if d == ']' {
+                            break;
+                        }
+                        items.push(d);
+                    }
+                    let mut i = 0;
+                    while i < items.len() {
+                        if i + 2 < items.len() && items[i + 1] == '-' {
+                            ranges.push((items[i], items[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((items[i], items[i]));
+                            i += 1;
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        let cat = chars.next();
+                        assert_eq!(cat, Some('C'), "only \\PC is supported");
+                        Atom::NonControl
+                    }
+                    Some(other) => Atom::Literal(other),
+                    None => Atom::Literal('\\'),
+                },
+                other => Atom::Literal(other),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} lower bound"),
+                        hi.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {m} count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let size = u64::from(*hi as u32 - *lo as u32 + 1);
+                    if pick < size {
+                        return char::from_u32(*lo as u32 + pick as u32)
+                            .expect("class range must stay within valid chars");
+                    }
+                    pick -= size;
+                }
+                unreachable!("pick < total")
+            }
+            Atom::NonControl => {
+                // Mostly printable ASCII, with a sprinkle of wider Unicode
+                // (all outside the Cc category, as \PC demands).
+                const EXOTIC: [char; 8] = ['é', 'ß', 'λ', 'Ω', '中', '文', '—', '🙂'];
+                if rng.below(10) < 9 {
+                    char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).expect("printable ascii")
+                } else {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy for a type.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy generating any value of `T` (output of [`any`]).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values (output of [`vec`]).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec`s of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`prop::bool::ANY`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Either boolean, uniformly.
+    pub const ANY: Any = Any;
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+
+    pub mod prop {
+        //! The `prop::` module alias proptest's prelude provides.
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a property (no shrinking: panics like
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Discard the current case when its assumption does not hold. The
+/// stand-in counts a discarded case as passed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define a named strategy as a function (proptest's `prop_compose!`).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($p:ident: $pty:ty),* $(,)?)
+     ($($arg:pat in $strat:expr),+ $(,)?)
+     -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($p: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Define property tests: each `fn` runs its body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategies = ($($strat,)+);
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    0x5EED_0000_0000_0000 ^ u64::from(case),
+                );
+                let values = $crate::strategy::Strategy::sample(&strategies, &mut rng);
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ($($arg,)+) = values;
+                        $body
+                    }),
+                );
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stand-in: property `{}` failed on case #{} \
+                         (deterministic seed; no shrinking)",
+                        stringify!($name),
+                        case,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = (10u64..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i64..=5).sample(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn pattern_sampler_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::deterministic(2);
+        for _ in 0..200 {
+            let s = "[a-z0-9]{1,8}".sample(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let t = "\\PC{0,16}".sample(&mut rng);
+            assert!(t.chars().count() <= 16);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::test_runner::TestRng::deterministic(3);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    prop_compose! {
+        fn point(scale: u32)(x in 0u32..10, y in 0u32..10) -> (u32, u32) {
+            (x * scale, y * scale)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn composed_strategy_scales(p in point(3), flag in prop::bool::ANY) {
+            prop_assert!(p.0 % 3 == 0 && p.1 % 3 == 0);
+            prop_assert_ne!(u8::from(flag), 2);
+        }
+
+        #[test]
+        fn vectors_respect_size(v in prop::collection::vec(any::<u32>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+    }
+}
