@@ -1,0 +1,205 @@
+//! Sharded dependency-resolution throughput.
+//!
+//! Four views of what sharding buys:
+//!
+//! * `software/*` — single-threaded submit+finish churn through the
+//!   single engine and the sharded engine (1 and 4 shards): the sharded
+//!   composition's bookkeeping overhead when no parallelism is available.
+//! * `batched/*` — per-task submission vs the batched front-end on 4
+//!   shards: the per-shard visit amortization in isolation.
+//! * `modeled/*` — the multi-Maestro cycle model on the balanced stress
+//!   stream at 1 vs 4 shards. This is the acceptance measurement: the
+//!   modeled resolution throughput at 4 shards must be ≥ 2× the 1-shard
+//!   figure (also enforced deterministically by
+//!   `taskmachine::multimaestro` tests, so CI catches regressions without
+//!   running benches). The wall time criterion reports here is simulator
+//!   speed; the printed `modeled:` lines are the hardware claim.
+//! * `concurrent/*` — 4 OS threads hammering a [`ShardDispatcher`] with
+//!   independent tasks at 1 vs 4 shards: the lock-contention picture on
+//!   the host (only meaningful on multi-core machines).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nexuspp_core::{DependencyEngine, NexusConfig};
+use nexuspp_shard::{ShardDispatcher, ShardedEngine};
+use nexuspp_taskmachine::{simulate_sharded, MultiMaestroConfig};
+use nexuspp_trace::Trace;
+use nexuspp_workloads::ShardedStressSpec;
+use std::sync::Arc;
+
+fn balanced(n: u32, shards: u32) -> Trace {
+    ShardedStressSpec {
+        exec_ns: 0,
+        ..ShardedStressSpec::balanced(n, shards)
+    }
+    .generate()
+}
+
+fn bench_software(c: &mut Criterion) {
+    let trace = balanced(4000, 4);
+    let mut g = c.benchmark_group("sharded_resolution/software");
+    g.sample_size(15);
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+
+    g.bench_function("single_engine", |b| {
+        b.iter_batched(
+            || DependencyEngine::new(&NexusConfig::unbounded()),
+            |mut e| {
+                let mut ready = Vec::new();
+                for t in &trace.tasks {
+                    let (td, r) = e.submit(t.fptr, t.id, t.params.clone()).unwrap();
+                    if r {
+                        ready.push(td);
+                    }
+                }
+                while let Some(td) = ready.pop() {
+                    ready.extend(e.finish(td).newly_ready);
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    for shards in [1usize, 4] {
+        g.bench_function(&format!("sharded_{shards}"), |b| {
+            b.iter_batched(
+                || ShardedEngine::new(shards, &NexusConfig::unbounded()),
+                |mut e| {
+                    let mut ready = Vec::new();
+                    for t in &trace.tasks {
+                        let (id, r) = e.submit(t.fptr, t.id, t.params.clone()).unwrap();
+                        if r {
+                            ready.push(id);
+                        }
+                    }
+                    while let Some(id) = ready.pop() {
+                        ready.extend(e.finish(id).newly_ready);
+                    }
+                    e
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let trace = balanced(4000, 4);
+    let mut g = c.benchmark_group("sharded_resolution/batched");
+    g.sample_size(15);
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+
+    for batch in [1usize, 64] {
+        g.bench_function(&format!("batch_{batch}"), |b| {
+            b.iter_batched(
+                || ShardedEngine::new(4, &NexusConfig::unbounded()),
+                |mut e| {
+                    let mut ready = Vec::new();
+                    for chunk in trace.tasks.chunks(batch) {
+                        let members = chunk
+                            .iter()
+                            .map(|t| (t.fptr, t.id, t.params.clone()))
+                            .collect();
+                        let (results, _) = e.submit_batch(members);
+                        ready.extend(results.into_iter().filter(|(_, r)| *r).map(|(id, _)| id));
+                    }
+                    while let Some(id) = ready.pop() {
+                        ready.extend(e.finish(id).newly_ready);
+                    }
+                    e
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_modeled(c: &mut Criterion) {
+    let trace = balanced(4000, 4);
+    let cfg = |shards: usize| MultiMaestroConfig {
+        workers: 16,
+        ..MultiMaestroConfig::with_shards(shards).no_prep()
+    };
+    // The acceptance measurement (deterministic): modeled resolution
+    // throughput, 4 shards vs 1.
+    let t1 = simulate_sharded(cfg(1), &trace).tasks_per_sec();
+    let t4 = simulate_sharded(cfg(4), &trace).tasks_per_sec();
+    println!("modeled: 1 shard  {:.2} Mtasks/s", t1 / 1e6);
+    println!(
+        "modeled: 4 shards {:.2} Mtasks/s  ({:.2}x)",
+        t4 / 1e6,
+        t4 / t1
+    );
+    assert!(
+        t4 >= 2.0 * t1,
+        "4-shard modeled throughput must be >= 2x 1-shard (got {:.2}x)",
+        t4 / t1
+    );
+
+    let mut g = c.benchmark_group("sharded_resolution/modeled");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    for shards in [1usize, 4] {
+        g.bench_function(&format!("sim_{shards}_shards"), |b| {
+            b.iter(|| simulate_sharded(cfg(shards), &trace))
+        });
+    }
+    g.finish();
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 2000;
+    let mut g = c.benchmark_group("sharded_resolution/concurrent");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(THREADS * PER_THREAD));
+    for shards in [1usize, 4] {
+        g.bench_function(&format!("threads4_shards{shards}"), |b| {
+            b.iter_batched(
+                || {
+                    Arc::new(ShardDispatcher::<u64>::new(
+                        shards,
+                        &NexusConfig::unbounded(),
+                    ))
+                },
+                |d| {
+                    let handles: Vec<_> = (0..THREADS)
+                        .map(|t| {
+                            let d = Arc::clone(&d);
+                            std::thread::spawn(move || {
+                                for i in 0..PER_THREAD {
+                                    let tag = t * PER_THREAD + i;
+                                    let addr = 0x40_0000 + tag * 64;
+                                    let r = d.submit(
+                                        1,
+                                        tag,
+                                        &[nexuspp_trace::Param::output(addr, 16)],
+                                        tag,
+                                    );
+                                    let _ = r.ready.expect("independent task");
+                                    let _ = d.finish(r.ticket);
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        h.join().unwrap();
+                    }
+                    d
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_software,
+    bench_batched,
+    bench_modeled,
+    bench_concurrent
+);
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //!   rts        software RTS bottleneck               (§I motivation)
 //!   ablate     buffering depth / bus / kick-off size (design ablations)
 //!   video      multi-frame H.264 pipelining          (extension)
+//!   shards     multi-Maestro shard scaling           (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -29,7 +30,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|all> \
          [--full] [--quick] [--csv DIR]"
     );
     std::process::exit(2);
@@ -78,6 +79,7 @@ fn main() {
         "rts" => run(vec![experiments::rts(&opts)], &opts),
         "ablate" => run(vec![experiments::ablate(&opts)], &opts),
         "video" => run(vec![experiments::video(&opts)], &opts),
+        "shards" => run(vec![experiments::shards(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

@@ -845,6 +845,106 @@ pub fn video(opts: &ExpOptions) -> Experiment {
 }
 
 // ---------------------------------------------------------------------
+// Shard scaling (multi-Maestro extension)
+// ---------------------------------------------------------------------
+
+/// Shard-scaling study: the multi-Maestro model (S address-partitioned
+/// Maestros behind a crossbar, batched submissions) over the balanced
+/// stress stream, the pathological single-hot-shard stream, and the
+/// Gaussian-elimination benchmark. Not a paper figure — this is the
+/// scaled-out design the ROADMAP's north star asks for, measured.
+pub fn shards(opts: &ExpOptions) -> Experiment {
+    use nexuspp_taskmachine::{simulate_sharded, MultiMaestroConfig};
+    use nexuspp_workloads::ShardedStressSpec;
+
+    let n_stress: u32 = if opts.quick { 2_000 } else { 20_000 };
+    let gauss_n: u32 = if opts.quick { 48 } else { 120 };
+    let shard_counts: &[usize] = if opts.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+
+    // One stress stream (steered against STEER_SHARDS partitions) is
+    // shared across the whole sweep so the rows stay comparable. That is
+    // only sound while every swept count divides STEER_SHARDS: the router
+    // is `(hash >> 32) % n`, so shard 0 of a divisor is a superset of
+    // shard 0 of STEER_SHARDS and the hot-shard stream stays single-hot
+    // at every swept size. Extending the sweep past that (16, or a
+    // non-divisor like 3) requires steering a stream per shard count.
+    const STEER_SHARDS: u32 = 8;
+    for &s in shard_counts {
+        assert_eq!(
+            STEER_SHARDS as usize % s,
+            0,
+            "swept shard count {s} must divide the steering target {STEER_SHARDS}"
+        );
+    }
+    let balanced = ShardedStressSpec {
+        exec_ns: 0,
+        ..ShardedStressSpec::balanced(n_stress, STEER_SHARDS)
+    }
+    .generate();
+    let hot = ShardedStressSpec {
+        exec_ns: 0,
+        ..ShardedStressSpec::hot_shard(n_stress, STEER_SHARDS)
+    }
+    .generate();
+    let gauss = GaussianSpec::new(gauss_n).trace();
+
+    let cfg = |s: usize| MultiMaestroConfig {
+        workers: 16,
+        ..MultiMaestroConfig::with_shards(s).no_prep()
+    };
+
+    let mut table = TextTable::new(vec![
+        "workload",
+        "shards",
+        "makespan µs",
+        "Mtasks/s",
+        "speedup",
+        "imbalance",
+        "peak queue",
+    ]);
+    let mut notes = Vec::new();
+    for (name, trace) in [
+        ("balanced", &balanced),
+        ("hot-shard", &hot),
+        ("gaussian", &gauss),
+    ] {
+        let mut base_tput = None;
+        for &s in shard_counts {
+            let r = simulate_sharded(cfg(s), trace);
+            let tput = r.tasks_per_sec();
+            let base = *base_tput.get_or_insert(tput);
+            table.row(vec![
+                name.to_string(),
+                s.to_string(),
+                f1(r.makespan.as_us_f64()),
+                f2(tput / 1e6),
+                format!("{}x", f2(tput / base)),
+                f2(r.imbalance()),
+                r.peak_shard_queue.to_string(),
+            ]);
+            if name == "balanced" && s == 4 && tput < 2.0 * base {
+                notes.push(format!(
+                    "REGRESSION: balanced 4-shard speedup {:.2}x below the 2x acceptance bar",
+                    tput / base
+                ));
+            }
+        }
+    }
+    notes.push(
+        "balanced stream: address partitions spread evenly, shards scale until the crossbar \
+         or workers saturate; hot-shard stream: all addresses hash to one shard, extra shards \
+         idle (imbalance ≈ shard count)"
+            .to_string(),
+    );
+    Experiment {
+        id: "shards",
+        title: format!(
+            "Multi-Maestro shard scaling ({n_stress}-task streams, Gaussian n = {gauss_n})"
+        ),
+        tables: vec![("modeled resolution throughput by shard count".into(), table)],
+        notes,
+    }
+}
 
 /// Run every experiment.
 pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
@@ -860,6 +960,7 @@ pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
         rts(opts),
         ablate(opts),
         video(opts),
+        shards(opts),
     ]
 }
 
@@ -907,5 +1008,17 @@ mod tests {
                 "row {row} ratio {ratio} outside ±40% band"
             );
         }
+    }
+
+    #[test]
+    fn shards_balanced_meets_acceptance_bar() {
+        let e = shards(&quick());
+        assert!(
+            !e.notes.iter().any(|n| n.contains("REGRESSION")),
+            "balanced 4-shard speedup fell below 2x: {:?}",
+            e.notes
+        );
+        // Quick mode rows: (balanced, hot, gaussian) × (1, 4 shards).
+        assert_eq!(e.tables[0].1.len(), 6);
     }
 }

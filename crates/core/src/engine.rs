@@ -97,8 +97,29 @@ impl DependencyEngine {
         self.checked[i] = v;
     }
 
-    fn is_checked(&self, td: TdIndex) -> bool {
+    /// True once `check` has processed every parameter of `td` (the
+    /// scheduling gate: a task whose Dependence Counter reaches zero
+    /// mid-check must not run until the check completes).
+    pub fn is_checked(&self, td: TdIndex) -> bool {
         self.checked.get(td.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Caller tag of a live descriptor. Lets a composing layer (e.g. the
+    /// sharded engine) map the indices in [`FinishResult::newly_ready`]
+    /// back to its own task handles without retiring the descriptor.
+    pub fn tag_of(&self, td: TdIndex) -> u64 {
+        self.pool.get(td).tag
+    }
+
+    /// Unresolved dependence count of a live descriptor.
+    pub fn dc_of(&self, td: TdIndex) -> u32 {
+        self.pool.get(td).dc
+    }
+
+    /// True if `td` could run right now: its check is complete and it has
+    /// no outstanding dependencies.
+    pub fn is_ready(&self, td: TdIndex) -> bool {
+        self.is_checked(td) && self.pool.get(td).dc == 0
     }
 
     /// `Write TP`: admit a task into the pool. The parameter list may be
@@ -395,6 +416,31 @@ mod tests {
         let f = e.finish(t1);
         assert!(f.newly_ready.is_empty());
         assert_eq!(e.table().occupied(), 0);
+    }
+
+    #[test]
+    fn introspection_hooks_track_lifecycle() {
+        let mut e = engine();
+        let (t0, _) = e.admit(1, 77, vec![Param::output(0x5, 4)]).unwrap();
+        assert_eq!(e.tag_of(t0), 77);
+        assert!(!e.is_checked(t0) && !e.is_ready(t0));
+        assert!(matches!(
+            e.check(t0),
+            CheckProgress::Done { ready: true, .. }
+        ));
+        assert!(e.is_checked(t0) && e.is_ready(t0));
+        let (t1, _) = e.admit(1, 78, vec![Param::input(0x5, 4)]).unwrap();
+        e.check(t1);
+        assert_eq!(e.dc_of(t1), 1);
+        assert!(e.is_checked(t1) && !e.is_ready(t1));
+        let fin = e.finish(t0);
+        // Newly-ready indices can be mapped to tags without retiring them.
+        assert_eq!(
+            fin.newly_ready.iter().map(|&t| e.tag_of(t)).sum::<u64>(),
+            78
+        );
+        assert!(e.is_ready(t1));
+        e.finish(t1);
     }
 
     #[test]

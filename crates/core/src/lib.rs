@@ -37,4 +37,4 @@ pub use config::NexusConfig;
 pub use cost::OpCost;
 pub use engine::{AdmitError, CheckProgress, DependencyEngine, FinishResult};
 pub use pool::{PoolError, TaskPool, TdIndex};
-pub use table::{DepTable, TableFull};
+pub use table::{address_hash, shard_of_addr, DepTable, TableFull};

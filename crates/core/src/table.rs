@@ -163,13 +163,30 @@ pub struct DepTable {
     stats: TableStats,
 }
 
+/// The address hash family shared by the Dependence Table and any layer
+/// that partitions addresses over it (the sharded engine): the SplitMix64
+/// finalizer — cheap, well-distributed, a plausible h().
 #[inline]
-fn mix(addr: u64) -> u64 {
-    // SplitMix64 finalizer: cheap, well-distributed — a plausible h().
+pub fn address_hash(addr: u64) -> u64 {
     let mut z = addr.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Which of `n_shards` address-partitioned engines owns `addr`. Uses the
+/// high hash bits so the assignment stays statistically independent of the
+/// in-table bucket choice, which consumes the low bits via the table-size
+/// modulus.
+#[inline]
+pub fn shard_of_addr(addr: u64, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "need at least one shard");
+    ((address_hash(addr) >> 32) % n_shards as u64) as usize
+}
+
+#[inline]
+fn mix(addr: u64) -> u64 {
+    address_hash(addr)
 }
 
 /// Result of walking a bucket chain.
@@ -1224,5 +1241,24 @@ mod tests {
     fn finish_unknown_address_panics() {
         let mut t = table(8, 8);
         t.finish_param(0xDEAD, AccessMode::In);
+    }
+
+    #[test]
+    fn shard_router_is_total_and_roughly_balanced() {
+        for n in [1usize, 2, 4, 8] {
+            let mut counts = vec![0u64; n];
+            for a in 0..4096u64 {
+                counts[shard_of_addr(0x1000 + a * 64, n)] += 1;
+            }
+            let expect = 4096 / n as u64;
+            for (s, c) in counts.iter().enumerate() {
+                assert!(
+                    *c > expect / 2 && *c < expect * 2,
+                    "shard {s}/{n} holds {c} of 4096 addresses"
+                );
+            }
+        }
+        // Determinism: the router is a pure function of (addr, n).
+        assert_eq!(shard_of_addr(0xAB, 8), shard_of_addr(0xAB, 8));
     }
 }

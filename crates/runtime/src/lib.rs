@@ -33,8 +33,16 @@
 //! assert_eq!(rt.with_data(&b, |v| v.to_vec()), vec![2u64; 8]);
 //! ```
 
+//!
+//! For many workers, [`ShardedRuntime`] offers the same API with
+//! dependency resolution partitioned across N engines behind per-shard
+//! locks (see [`sharded`]), removing the single global engine lock from
+//! every task completion.
+
 pub mod region;
 pub mod runtime;
+pub mod sharded;
 
 pub use region::{Region, RegionId};
 pub use runtime::{Runtime, TaskBuilder, TaskCtx};
+pub use sharded::{ShardedRuntime, ShardedTaskBuilder};

@@ -17,9 +17,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
 /// Access grants attached to a task (region, declared mode).
-type Grants = Arc<Vec<(RegionId, AccessMode)>>;
+pub(crate) type Grants = Arc<Vec<(RegionId, AccessMode)>>;
 
 struct Work {
     td: TdIndex,
@@ -106,6 +106,10 @@ pub struct TaskCtx {
 }
 
 impl TaskCtx {
+    pub(crate) fn from_grants(grants: Grants) -> TaskCtx {
+        TaskCtx { grants }
+    }
+
     fn mode_of(&self, id: RegionId) -> Option<AccessMode> {
         self.grants.iter().find(|(g, _)| *g == id).map(|(_, m)| *m)
     }

@@ -1,0 +1,298 @@
+//! The sharded runtime: the same StarSs-like API as [`Runtime`], with
+//! dependency resolution partitioned over N engines behind per-shard
+//! locks.
+//!
+//! [`Runtime`](crate::Runtime) funnels every `submit`/`finish` through a
+//! single `Mutex<DependencyEngine>` — the software re-creation of the
+//! centralized Task Maestro, and under many workers the dominant
+//! serialization point. [`ShardedRuntime`] replaces that global lock with
+//! a [`ShardDispatcher`]: workers finishing tasks lock only the shards
+//! whose addresses the task actually touched, disjoint completions retire
+//! fully in parallel, and the dispatcher's deferred-finish rings let one
+//! lock holder drain a burst of queued completions in a single
+//! acquisition. Readiness semantics are identical — the dispatcher
+//! composes the same `DependencyEngine` the single-lock runtime uses, and
+//! the sharded composition is differentially verified against it and the
+//! oracle in `nexuspp-shard`.
+
+use crate::region::{Region, RegionId};
+use crate::runtime::{Grants, Job, TaskCtx};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nexuspp_core::NexusConfig;
+use nexuspp_shard::{ShardDispatcher, TaskTicket};
+use nexuspp_trace::normalize::normalize_params;
+use nexuspp_trace::{AccessMode, Param};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Payload delivered when a task becomes ready.
+struct Work {
+    grants: Grants,
+    job: Job,
+    high_priority: bool,
+}
+
+/// A scheduled unit: the dispatcher ticket plus the work to run.
+type Ready = (TaskTicket<Work>, Work);
+
+enum Msg {
+    Wake,
+    Shutdown,
+}
+
+#[derive(Default)]
+struct ReadyQueue {
+    high: VecDeque<Ready>,
+    normal: VecDeque<Ready>,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, r: Ready) {
+        if r.1.high_priority {
+            self.high.push_back(r);
+        } else {
+            self.normal.push_back(r);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Ready> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+}
+
+struct Inner {
+    dispatcher: ShardDispatcher<Work>,
+    ready: Mutex<ReadyQueue>,
+    tx: Sender<Msg>,
+    /// Tag counter; atomic so submissions don't serialize on a lock.
+    submitted: AtomicU64,
+    /// Tasks spawned and not yet fully retired. This lock pairs with the
+    /// `quiescent` condvar, so it cannot be an atomic.
+    pending: Mutex<u64>,
+    quiescent: Condvar,
+    /// First task panic observed (re-raised at the next barrier).
+    panicked: Mutex<Option<String>>,
+}
+
+impl Inner {
+    /// Enqueue a ready unit and wake one worker.
+    fn schedule(&self, r: Ready) {
+        self.ready.lock().push(r);
+        self.tx
+            .send(Msg::Wake)
+            .expect("worker channel closed while tasks in flight");
+    }
+}
+
+/// Declarative task builder for the sharded runtime (same surface as
+/// [`TaskBuilder`](crate::TaskBuilder)).
+pub struct ShardedTaskBuilder<'rt> {
+    rt: &'rt ShardedRuntime,
+    accesses: Vec<(RegionId, AccessMode)>,
+    high_priority: bool,
+}
+
+impl<'rt> ShardedTaskBuilder<'rt> {
+    /// Declare a read-only parameter.
+    pub fn input<T>(mut self, r: &Region<T>) -> Self {
+        self.accesses.push((r.id(), AccessMode::In));
+        self
+    }
+
+    /// Declare a write-only parameter.
+    pub fn output<T>(mut self, r: &Region<T>) -> Self {
+        self.accesses.push((r.id(), AccessMode::Out));
+        self
+    }
+
+    /// Declare a read-write parameter.
+    pub fn inout<T>(mut self, r: &Region<T>) -> Self {
+        self.accesses.push((r.id(), AccessMode::InOut));
+        self
+    }
+
+    /// Mark the task high priority: once ready, it overtakes queued
+    /// normal-priority tasks.
+    pub fn high_priority(mut self) -> Self {
+        self.high_priority = true;
+        self
+    }
+
+    /// Submit the task. It runs as soon as its dependencies allow.
+    pub fn spawn(self, f: impl FnOnce(&TaskCtx) + Send + 'static) {
+        let params: Vec<Param> = self
+            .accesses
+            .iter()
+            .map(|(id, m)| Param::new(id.0, 1, *m))
+            .collect();
+        let params = normalize_params(&params);
+        let grants: Grants = Arc::new(params.iter().map(|p| (RegionId(p.addr), p.mode)).collect());
+        let inner = &self.rt.inner;
+        {
+            let mut p = inner.pending.lock();
+            *p += 1;
+        }
+        let tag = inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let work = Work {
+            grants,
+            job: Box::new(f),
+            high_priority: self.high_priority,
+        };
+        let res = inner.dispatcher.submit(0, tag, &params, work);
+        if let Some(work) = res.ready {
+            inner.schedule((res.ticket, work));
+        }
+        // A parked task's ticket resurfaces in some FinishReport::woken.
+    }
+}
+
+/// The StarSs-like runtime over sharded, per-shard-locked resolution.
+pub struct ShardedRuntime {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedRuntime {
+    /// Start a runtime with `n` worker threads resolving dependencies
+    /// across `shards` engines.
+    pub fn new(n: usize, shards: usize) -> Self {
+        assert!(n >= 1, "need at least one worker");
+        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let inner = Arc::new(Inner {
+            dispatcher: ShardDispatcher::new(shards, &NexusConfig::unbounded()),
+            ready: Mutex::new(ReadyQueue::default()),
+            tx,
+            submitted: AtomicU64::new(0),
+            pending: Mutex::new(0),
+            quiescent: Condvar::new(),
+            panicked: Mutex::new(None),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("nexuspp-shard-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &inner))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ShardedRuntime { inner, workers }
+    }
+
+    /// Number of shards resolution is partitioned over.
+    pub fn n_shards(&self) -> usize {
+        self.inner.dispatcher.n_shards()
+    }
+
+    /// Allocate a data region managed by this runtime.
+    pub fn region<T>(&self, data: Vec<T>) -> Region<T> {
+        Region::new(data)
+    }
+
+    /// Begin declaring a task.
+    pub fn task(&self) -> ShardedTaskBuilder<'_> {
+        ShardedTaskBuilder {
+            rt: self,
+            accesses: Vec::new(),
+            high_priority: false,
+        }
+    }
+
+    /// Block until every producer of `region` submitted so far has
+    /// finished (see [`Runtime::wait_on`](crate::Runtime::wait_on)).
+    pub fn wait_on<T>(&self, region: &Region<T>) {
+        let (tx, rx) = crossbeam::channel::bounded::<()>(1);
+        self.task().input(region).high_priority().spawn(move |_| {
+            let _ = tx.send(());
+        });
+        rx.recv().expect("wait_on probe vanished");
+    }
+
+    /// Wait until every submitted task has finished. Re-raises the first
+    /// task panic observed since the last barrier.
+    pub fn barrier(&self) {
+        let mut p = self.inner.pending.lock();
+        while *p > 0 {
+            self.inner.quiescent.wait(&mut p);
+        }
+        drop(p);
+        if let Some(msg) = self.inner.panicked.lock().take() {
+            panic!("task panicked: {msg}");
+        }
+    }
+
+    /// Synchronously inspect a region's data (reach quiescence first via
+    /// [`barrier`](Self::barrier)).
+    pub fn with_data<T, R>(&self, region: &Region<T>, f: impl FnOnce(&[T]) -> R) -> R {
+        let guard = region.begin_read();
+        f(&guard)
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Relaxed)
+    }
+}
+
+fn worker_loop(rx: &Receiver<Msg>, inner: &Arc<Inner>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Wake => {
+                let (ticket, work) = inner
+                    .ready
+                    .lock()
+                    .pop()
+                    .expect("wake token without ready work");
+                let ctx = TaskCtx::from_grants(work.grants);
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (work.job)(&ctx)));
+                if let Err(payload) = result {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    inner.panicked.lock().get_or_insert(msg);
+                }
+                // Retire through the sharded dispatcher: only the shards
+                // this task touched are locked, and the report may carry
+                // wakes/completions drained on behalf of other workers.
+                let report = inner.dispatcher.finish(ticket);
+                for woken in report.woken {
+                    inner.schedule(woken);
+                }
+                if report.completed > 0 {
+                    let mut p = inner.pending.lock();
+                    *p -= report.completed;
+                    if *p == 0 {
+                        inner.quiescent.notify_all();
+                    }
+                }
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+impl Drop for ShardedRuntime {
+    fn drop(&mut self) {
+        // Drain in-flight work (without re-raising task panics — Drop
+        // must not panic), then stop every worker and join it.
+        {
+            let mut p = self.inner.pending.lock();
+            while *p > 0 {
+                self.inner.quiescent.wait(&mut p);
+            }
+        }
+        for _ in 0..self.workers.len() {
+            let _ = self.inner.tx.send(Msg::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

@@ -16,14 +16,20 @@
 //!   worker counts and design-space sweeps over structure sizes,
 //! * [`analytic`] — closed-form bottleneck analysis (master rate, Maestro
 //!   stage rates, worker pool, memory banks) that the simulator must agree
-//!   with — the paper's §V/§VI reasoning as checked arithmetic.
+//!   with — the paper's §V/§VI reasoning as checked arithmetic,
+//! * [`multimaestro`] — the scaled-out variant: S Maestro shards over an
+//!   address-partitioned [`nexuspp_shard`] engine, fed through a crossbar
+//!   of round-robin arbiters with batched submissions, for shard-scaling
+//!   studies the single-Maestro model cannot express.
 
 pub mod analytic;
 pub mod config;
 pub mod machine;
+pub mod multimaestro;
 pub mod report;
 pub mod sweep;
 
 pub use config::{BlockTimings, ListConfig, MachineConfig, MasterConfig};
 pub use machine::{simulate, simulate_trace, TaskMachine};
+pub use multimaestro::{simulate_sharded, MultiMaestroConfig, MultiMaestroReport};
 pub use report::{BlockReport, Report, SimError};

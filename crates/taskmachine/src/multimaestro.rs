@@ -1,0 +1,692 @@
+//! Multi-Maestro mode: a discrete-event model of *sharded* hardware
+//! dependency resolution.
+//!
+//! Where [`machine`](crate::machine) models the paper's single Task
+//! Maestro faithfully (five pipelined blocks, one Task Pool, one
+//! Dependence Table), this module models the scaled-out design the
+//! ROADMAP's north star asks for: **S** Maestro shards, each owning an
+//! address partition with its own Task Pool slice and Dependence Table
+//! (the semantics of [`ShardedEngine`]), fed through a **crossbar** —
+//! per-shard round-robin arbiters over the request lines of the master
+//! core and every worker's finish stream, the same
+//! [`RoundRobinArbiter`] scan the single Maestro's `Send TDs` /
+//! `Handle Finished` blocks use.
+//!
+//! Timing model (deliberately coarser than `machine`, focused on the
+//! resolution fabric that sharding changes):
+//!
+//! * A task's admit+check decomposes into one **submit job** per involved
+//!   shard, costing a fixed base plus the SRAM access time of that
+//!   shard's pool/table touches (the paper's "on-chip access time
+//!   multiplied by the number of lookups"). Jobs on different shards are
+//!   serviced concurrently; a shard services one job at a time.
+//! * Submissions are **batched** (the buffered-TP-write idea): up to
+//!   `batch` consecutive tasks coalesce into a single job per involved
+//!   shard, paying one base per shard per batch instead of one per task.
+//! * A finished task likewise issues one **finish job** per involved
+//!   shard from its worker's request line; its wake-ups are released when
+//!   the last involved shard completes.
+//! * Worker cores execute ready tasks for their trace `exec` time;
+//!   memory modeling is out of scope here (use `machine` for that).
+//!
+//! The semantic engine runs eagerly at job *generation* (the model's
+//! event order is a legal serial execution), so this mode inherits the
+//! differentially-verified readiness semantics unchanged; only time is
+//! modeled around it.
+
+use nexuspp_core::NexusConfig;
+use nexuspp_desim::clock::NEXUS_CLOCK_MHZ;
+use nexuspp_desim::stats::BusyTracker;
+use nexuspp_desim::{Clock, RoundRobinArbiter, Scheduler, SimTime};
+use nexuspp_hw::SramTiming;
+use nexuspp_shard::{ShardedCheck, ShardedEngine, TaskId};
+use nexuspp_trace::Trace;
+use std::collections::VecDeque;
+
+/// Multi-Maestro configuration.
+#[derive(Debug, Clone)]
+pub struct MultiMaestroConfig {
+    /// Maestro shards (address partitions).
+    pub shards: usize,
+    /// Worker cores.
+    pub workers: usize,
+    /// Submissions coalesced per shard visit (1 = unbatched).
+    pub batch: usize,
+    /// In-flight task window the master may run ahead (submission flow
+    /// control; plays the role of the `TDs Sizes` backpressure).
+    pub window: usize,
+    /// Master task-preparation latency per task.
+    pub prep_time: SimTime,
+    /// Fixed cycles per submit job (Write TP + Check Deps bases).
+    pub submit_base: u64,
+    /// Fixed cycles per finish job (Handle Finished base).
+    pub finish_base: u64,
+    /// Per-shard SRAM timing.
+    pub sram: SramTiming,
+    /// Nexus++ clock domain.
+    pub clock: Clock,
+    /// Per-shard engine capacities. Must be growable: this model measures
+    /// fabric contention, not capacity stalls (those paths are covered by
+    /// the sharded differential suite and the single-Maestro machine).
+    pub nexus: NexusConfig,
+}
+
+impl Default for MultiMaestroConfig {
+    fn default() -> Self {
+        MultiMaestroConfig {
+            shards: 4,
+            workers: 8,
+            batch: 8,
+            window: 512,
+            prep_time: SimTime::from_ns(30),
+            submit_base: 4,
+            finish_base: 6,
+            sram: SramTiming::default(),
+            clock: Clock::from_mhz(NEXUS_CLOCK_MHZ),
+            nexus: NexusConfig::unbounded(),
+        }
+    }
+}
+
+impl MultiMaestroConfig {
+    /// Default configuration at a given shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        MultiMaestroConfig {
+            shards,
+            ..Default::default()
+        }
+    }
+
+    /// Disable the master's preparation delay (resolution-bound studies).
+    pub fn no_prep(mut self) -> Self {
+        self.prep_time = SimTime::ZERO;
+        self
+    }
+
+    /// Validate structural requirements.
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(self.workers >= 1, "need at least one worker");
+        assert!(self.batch >= 1, "batch must be >= 1");
+        assert!(self.window >= self.batch, "window must cover one batch");
+        assert!(
+            self.nexus.growable,
+            "multi-Maestro mode measures fabric contention; use a growable NexusConfig"
+        );
+    }
+}
+
+/// Simulation results.
+#[derive(Debug, Clone)]
+pub struct MultiMaestroReport {
+    /// Shards simulated.
+    pub shards: usize,
+    /// Worker cores simulated.
+    pub workers: usize,
+    /// Tasks completed.
+    pub tasks: u64,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Busy time per shard (the load-balance picture).
+    pub shard_busy: Vec<SimTime>,
+    /// Jobs serviced per shard.
+    pub shard_jobs: Vec<u64>,
+    /// Largest backlog observed on any single shard's crossbar queues.
+    pub peak_shard_queue: usize,
+    /// Submission batches flushed.
+    pub batches: u64,
+    /// Total crossbar grants issued.
+    pub crossbar_grants: u64,
+}
+
+impl MultiMaestroReport {
+    /// Modeled resolution throughput in tasks per second.
+    pub fn tasks_per_sec(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.tasks as f64 / (self.makespan.as_ns_f64() * 1e-9)
+    }
+
+    /// Busy-time imbalance: busiest shard over mean shard busy time
+    /// (1.0 = perfectly balanced; ≈ shard count = single hot shard).
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.shard_busy.iter().map(|t| t.as_ns_f64()).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let max = self
+            .shard_busy
+            .iter()
+            .map(|t| t.as_ns_f64())
+            .fold(0.0, f64::max);
+        max * self.shard_busy.len() as f64 / total
+    }
+}
+
+#[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)] // the variants name completion edges
+enum Ev {
+    /// Master finished preparing the next task.
+    PrepDone,
+    /// Shard `s` finished its current job.
+    ShardDone(u32),
+    /// Worker `w` finished executing its task.
+    ExecDone(u32),
+}
+
+/// A buffered submission awaiting its batch flush: home record, its
+/// readiness verdict, and the admit+check access tally per shard.
+type BufferedSubmit = (TaskId, bool, Vec<(u32, u64)>);
+
+/// What completing a phase (all of an operation's per-shard jobs) means.
+#[derive(Debug)]
+enum PhaseKind {
+    /// A submission batch: release each member that checked ready.
+    Submit { members: Vec<(TaskId, bool)> },
+    /// A task completion: count it and release its wake-ups.
+    Finish { newly: Vec<TaskId> },
+}
+
+#[derive(Debug)]
+struct Phase {
+    jobs_left: u32,
+    kind: PhaseKind,
+}
+
+/// One unit of shard service: part of a phase, with a service time.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    phase: usize,
+    dur: SimTime,
+}
+
+/// Per-task bookkeeping (indexed by the engine's reusable `TaskId`).
+#[derive(Debug, Clone, Copy, Default)]
+struct Meta {
+    exec: SimTime,
+    submit_done: bool,
+    woken: bool,
+}
+
+struct Sim<'t> {
+    cfg: MultiMaestroConfig,
+    trace: &'t Trace,
+    engine: ShardedEngine,
+    sched: Scheduler<Ev>,
+    // Master.
+    cursor: usize,
+    prepping: bool,
+    batch_buf: Vec<BufferedSubmit>,
+    in_window: usize,
+    // Phases.
+    phases: Vec<Option<Phase>>,
+    free_phases: Vec<usize>,
+    // Crossbar: per shard, one queue per source (0 = master, 1+w = worker w).
+    queues: Vec<Vec<VecDeque<Job>>>,
+    arbs: Vec<RoundRobinArbiter>,
+    current: Vec<Option<Job>>,
+    busy: Vec<BusyTracker>,
+    peak_queue: usize,
+    // Workers.
+    ready: VecDeque<TaskId>,
+    free_workers: Vec<u32>,
+    running: Vec<Option<TaskId>>,
+    // Tasks.
+    meta: Vec<Meta>,
+    completed: u64,
+    makespan: SimTime,
+    batches: u64,
+}
+
+impl<'t> Sim<'t> {
+    fn new(cfg: MultiMaestroConfig, trace: &'t Trace) -> Self {
+        cfg.validate();
+        let s = cfg.shards;
+        let sources = 1 + cfg.workers;
+        Sim {
+            engine: ShardedEngine::new(s, &cfg.nexus),
+            sched: Scheduler::new(),
+            cursor: 0,
+            prepping: false,
+            batch_buf: Vec::new(),
+            in_window: 0,
+            phases: Vec::new(),
+            free_phases: Vec::new(),
+            queues: (0..s)
+                .map(|_| (0..sources).map(|_| VecDeque::new()).collect())
+                .collect(),
+            arbs: (0..s).map(|_| RoundRobinArbiter::new(sources)).collect(),
+            current: vec![None; s],
+            busy: (0..s).map(|_| BusyTracker::new()).collect(),
+            peak_queue: 0,
+            ready: VecDeque::new(),
+            free_workers: (0..cfg.workers as u32).rev().collect(),
+            running: vec![None; cfg.workers],
+            meta: Vec::new(),
+            completed: 0,
+            makespan: SimTime::ZERO,
+            batches: 0,
+            cfg,
+            trace,
+        }
+    }
+
+    fn meta_mut(&mut self, id: TaskId) -> &mut Meta {
+        let i = id.0 as usize;
+        if i >= self.meta.len() {
+            self.meta.resize(i + 1, Meta::default());
+        }
+        &mut self.meta[i]
+    }
+
+    fn alloc_phase(&mut self, phase: Phase) -> usize {
+        match self.free_phases.pop() {
+            Some(i) => {
+                self.phases[i] = Some(phase);
+                i
+            }
+            None => {
+                self.phases.push(Some(phase));
+                self.phases.len() - 1
+            }
+        }
+    }
+
+    fn job_time(&self, base: u64, accesses: u64) -> SimTime {
+        self.cfg.clock.cycles(base) + self.cfg.sram.access_time(accesses)
+    }
+
+    /// Enqueue one job on `shard` from `source` and poke the crossbar.
+    fn enqueue(&mut self, shard: u32, source: usize, job: Job) {
+        let s = shard as usize;
+        self.queues[s][source].push_back(job);
+        let backlog: usize = self.queues[s].iter().map(|q| q.len()).sum();
+        if backlog > self.peak_queue {
+            self.peak_queue = backlog;
+        }
+        self.poll_shard(s);
+    }
+
+    /// Crossbar scan: grant the next queued source on an idle shard.
+    fn poll_shard(&mut self, s: usize) {
+        if self.current[s].is_some() {
+            return;
+        }
+        let queues = &self.queues[s];
+        let Some(src) = self.arbs[s].grant(|i| !queues[i].is_empty()) else {
+            return;
+        };
+        let job = self.queues[s][src].pop_front().expect("granted non-empty");
+        self.busy[s].record_busy(job.dur);
+        self.current[s] = Some(job);
+        self.sched.schedule(job.dur, Ev::ShardDone(s as u32));
+    }
+
+    // --------------------------------------------------------------
+    // Master: prepare, admit eagerly, batch, flush.
+    // --------------------------------------------------------------
+
+    fn poll_master(&mut self) {
+        if self.prepping {
+            return;
+        }
+        if self.cursor >= self.trace.len() || self.in_window >= self.cfg.window {
+            // Can't continue right now: ship whatever is buffered.
+            if !self.batch_buf.is_empty() {
+                self.flush_batch();
+            }
+            return;
+        }
+        self.prepping = true;
+        self.sched.schedule(self.cfg.prep_time, Ev::PrepDone);
+    }
+
+    fn on_prep_done(&mut self) {
+        self.prepping = false;
+        let rec = &self.trace.tasks[self.cursor];
+        self.cursor += 1;
+        self.in_window += 1;
+        let (id, admit_cost) = self
+            .engine
+            .admit(rec.fptr, rec.id, rec.params.clone())
+            .expect("growable engine cannot reject");
+        let (ready, check_cost) = match self.engine.check(id) {
+            ShardedCheck::Done { ready, cost } => (ready, cost),
+            ShardedCheck::Stalled { .. } => unreachable!("growable engine cannot stall"),
+        };
+        let exec = rec.exec;
+        let m = self.meta_mut(id);
+        *m = Meta {
+            exec,
+            submit_done: false,
+            woken: false,
+        };
+        // Fold admit+check into one per-shard access tally.
+        let mut per_shard: Vec<(u32, u64)> = Vec::new();
+        for (s, c) in admit_cost
+            .per_shard
+            .iter()
+            .chain(check_cost.per_shard.iter())
+        {
+            match per_shard.iter_mut().find(|(g, _)| g == s) {
+                Some((_, n)) => *n += c.total(),
+                None => per_shard.push((*s, c.total())),
+            }
+        }
+        self.batch_buf.push((id, ready, per_shard));
+        if self.batch_buf.len() >= self.cfg.batch {
+            self.flush_batch();
+        }
+        self.poll_master();
+    }
+
+    /// Ship the buffered submissions: one job per involved shard, paying
+    /// one base per shard for the whole batch (buffered TP writes).
+    fn flush_batch(&mut self) {
+        let members: Vec<(TaskId, bool)> =
+            self.batch_buf.iter().map(|(id, r, _)| (*id, *r)).collect();
+        let mut shard_accesses: Vec<(u32, u64)> = Vec::new();
+        for (_, _, per_shard) in self.batch_buf.drain(..) {
+            for (s, n) in per_shard {
+                match shard_accesses.iter_mut().find(|(g, _)| *g == s) {
+                    Some((_, t)) => *t += n,
+                    None => shard_accesses.push((s, n)),
+                }
+            }
+        }
+        self.batches += 1;
+        let phase = self.alloc_phase(Phase {
+            jobs_left: shard_accesses.len() as u32,
+            kind: PhaseKind::Submit { members },
+        });
+        if shard_accesses.is_empty() {
+            // Batch of parameterless tasks: no shard work at all.
+            self.complete_phase(phase);
+            return;
+        }
+        let base = self.cfg.submit_base;
+        for (s, accesses) in shard_accesses {
+            let dur = self.job_time(base, accesses);
+            self.enqueue(s, 0, Job { phase, dur });
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Shard job + phase completion.
+    // --------------------------------------------------------------
+
+    fn on_shard_done(&mut self, s: usize) {
+        let job = self.current[s].take().expect("ShardDone while idle");
+        let done = {
+            let phase = self.phases[job.phase].as_mut().expect("live phase");
+            phase.jobs_left -= 1;
+            phase.jobs_left == 0
+        };
+        if done {
+            self.complete_phase(job.phase);
+        }
+        self.poll_shard(s);
+    }
+
+    fn complete_phase(&mut self, idx: usize) {
+        let phase = self.phases[idx].take().expect("phase completed twice");
+        self.free_phases.push(idx);
+        match phase.kind {
+            PhaseKind::Submit { members } => {
+                for (id, ready) in members {
+                    let m = self.meta_mut(id);
+                    m.submit_done = true;
+                    if ready || m.woken {
+                        self.ready.push_back(id);
+                    }
+                }
+            }
+            PhaseKind::Finish { newly } => {
+                self.completed += 1;
+                self.in_window -= 1;
+                self.makespan = self.sched.now();
+                for id in newly {
+                    let m = self.meta_mut(id);
+                    m.woken = true;
+                    if m.submit_done {
+                        self.ready.push_back(id);
+                    }
+                }
+                self.poll_master();
+            }
+        }
+        self.poll_workers();
+    }
+
+    // --------------------------------------------------------------
+    // Workers.
+    // --------------------------------------------------------------
+
+    fn poll_workers(&mut self) {
+        while let (Some(&w), false) = (self.free_workers.last(), self.ready.is_empty()) {
+            self.free_workers.pop();
+            let id = self.ready.pop_front().expect("checked non-empty");
+            let exec = self.meta[id.0 as usize].exec;
+            self.running[w as usize] = Some(id);
+            self.sched.schedule(exec, Ev::ExecDone(w));
+        }
+    }
+
+    fn on_exec_done(&mut self, w: u32) {
+        let id = self.running[w as usize]
+            .take()
+            .expect("ExecDone while idle");
+        self.free_workers.push(w);
+        let fin = self.engine.finish(id);
+        let phase = self.alloc_phase(Phase {
+            jobs_left: fin.cost.per_shard.len() as u32,
+            kind: PhaseKind::Finish {
+                newly: fin.newly_ready,
+            },
+        });
+        if fin.cost.per_shard.is_empty() {
+            // Parameterless task: completes without touching any shard.
+            self.complete_phase(phase);
+        } else {
+            let base = self.cfg.finish_base;
+            let source = 1 + w as usize;
+            for (s, c) in fin.cost.per_shard {
+                let dur = self.job_time(base, c.total());
+                self.enqueue(s, source, Job { phase, dur });
+            }
+        }
+        self.poll_workers();
+    }
+
+    fn run(mut self) -> MultiMaestroReport {
+        self.poll_master();
+        while let Some((_, ev)) = self.sched.pop() {
+            match ev {
+                Ev::PrepDone => self.on_prep_done(),
+                Ev::ShardDone(s) => self.on_shard_done(s as usize),
+                Ev::ExecDone(w) => self.on_exec_done(w),
+            }
+        }
+        assert_eq!(
+            self.completed,
+            self.trace.len() as u64,
+            "multi-Maestro deadlock: {} of {} tasks completed",
+            self.completed,
+            self.trace.len()
+        );
+        assert_eq!(self.engine.in_flight(), 0, "leaked in-flight tasks");
+        MultiMaestroReport {
+            shards: self.cfg.shards,
+            workers: self.cfg.workers,
+            tasks: self.completed,
+            makespan: self.makespan,
+            shard_busy: self.busy.iter().map(|b| b.busy_time()).collect(),
+            shard_jobs: self.busy.iter().map(|b| b.ops()).collect(),
+            peak_shard_queue: self.peak_queue,
+            batches: self.batches,
+            crossbar_grants: self.arbs.iter().map(|a| a.grants()).sum(),
+        }
+    }
+}
+
+/// Simulate `trace` through `cfg.shards` Maestro shards.
+pub fn simulate_sharded(cfg: MultiMaestroConfig, trace: &Trace) -> MultiMaestroReport {
+    Sim::new(cfg, trace).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexuspp_workloads::{GaussianSpec, ShardedStressSpec};
+
+    /// Resolution-bound configuration: no prep delay, zero-exec handled
+    /// by the workload, plenty of workers.
+    fn resolution_bound(shards: usize) -> MultiMaestroConfig {
+        MultiMaestroConfig {
+            workers: 16,
+            ..MultiMaestroConfig::with_shards(shards).no_prep()
+        }
+    }
+
+    fn balanced(n: u32) -> nexuspp_trace::Trace {
+        ShardedStressSpec {
+            exec_ns: 0,
+            ..ShardedStressSpec::balanced(n, 4)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn completes_every_task_and_balances_shards() {
+        let trace = balanced(2000);
+        let r = simulate_sharded(resolution_bound(4), &trace);
+        assert_eq!(r.tasks, 2000);
+        assert!(r.makespan > SimTime::ZERO);
+        assert!(
+            r.imbalance() < 1.5,
+            "balanced stream must spread work (imbalance {:.2})",
+            r.imbalance()
+        );
+        assert_eq!(r.shard_busy.len(), 4);
+        assert!(r.batches >= 2000 / 8);
+    }
+
+    #[test]
+    fn four_shards_at_least_double_one_shard_throughput() {
+        // The acceptance bar for the sharded fabric: ≥ 2× modeled
+        // resolution throughput at 4 shards on the balanced stream.
+        let trace = balanced(4000);
+        let t1 = simulate_sharded(resolution_bound(1), &trace).tasks_per_sec();
+        let t4 = simulate_sharded(resolution_bound(4), &trace).tasks_per_sec();
+        assert!(
+            t4 >= 2.0 * t1,
+            "4-shard throughput {t4:.0}/s must be >= 2x 1-shard {t1:.0}/s"
+        );
+    }
+
+    #[test]
+    fn shard_scaling_is_monotone_on_balanced_stream() {
+        let trace = balanced(3000);
+        let mk: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&s| {
+                simulate_sharded(resolution_bound(s), &trace)
+                    .makespan
+                    .as_ns_f64()
+            })
+            .collect();
+        for w in mk.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.05,
+                "more shards must not slow the balanced stream: {mk:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_shard_skew_defeats_sharding() {
+        // With every address on shard 0, 4 shards buy nothing: the hot
+        // shard serializes, visible as imbalance ≈ shard count and a
+        // makespan close to the 1-shard run.
+        let hot = ShardedStressSpec {
+            exec_ns: 0,
+            ..ShardedStressSpec::hot_shard(2000, 4)
+        }
+        .generate();
+        let r4 = simulate_sharded(resolution_bound(4), &hot);
+        assert!(
+            r4.imbalance() > 3.0,
+            "single-hot-shard stream must overload one shard (imbalance {:.2})",
+            r4.imbalance()
+        );
+        let balanced = balanced(2000);
+        let rb = simulate_sharded(resolution_bound(4), &balanced);
+        assert!(
+            r4.makespan > rb.makespan,
+            "hot-shard skew must cost throughput"
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_shard_visits() {
+        let trace = balanced(2000);
+        let unbatched = simulate_sharded(
+            MultiMaestroConfig {
+                batch: 1,
+                ..resolution_bound(4)
+            },
+            &trace,
+        );
+        let batched = simulate_sharded(
+            MultiMaestroConfig {
+                batch: 16,
+                ..resolution_bound(4)
+            },
+            &trace,
+        );
+        assert!(batched.batches < unbatched.batches);
+        assert!(
+            batched.makespan < unbatched.makespan,
+            "coalesced bases must shorten the resolution-bound makespan \
+             (batched {} vs unbatched {})",
+            batched.makespan,
+            unbatched.makespan
+        );
+    }
+
+    #[test]
+    fn gaussian_dependencies_resolve_correctly_across_shards() {
+        // A real dependency-rich workload (RAW fan-out, WAW chains) end
+        // to end through the sharded fabric.
+        let trace = GaussianSpec::new(24).trace();
+        for shards in [1, 2, 4] {
+            let r = simulate_sharded(MultiMaestroConfig::with_shards(shards), &trace);
+            assert_eq!(r.tasks, trace.len() as u64, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn worker_count_limits_execution_bound_streams() {
+        // With real exec times and few workers, workers are the
+        // bottleneck; shards shouldn't change makespan much.
+        let trace = ShardedStressSpec::balanced(500, 4).generate(); // 200 ns exec
+        let few = simulate_sharded(
+            MultiMaestroConfig {
+                workers: 1,
+                ..MultiMaestroConfig::with_shards(4).no_prep()
+            },
+            &trace,
+        );
+        let many = simulate_sharded(
+            MultiMaestroConfig {
+                workers: 16,
+                ..MultiMaestroConfig::with_shards(4).no_prep()
+            },
+            &trace,
+        );
+        assert!(few.makespan > many.makespan);
+        // Serial exec floor: 500 tasks x 200 ns.
+        assert!(few.makespan >= SimTime::from_ns(500 * 200));
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`stress`] — synthetic stressors for the dummy-task (many-parameter)
 //!   and `ww`-flag (write-after-read) mechanisms that the paper's own
 //!   benchmarks do not reach,
+//! * [`sharded_stress`] — shard-aware address streams with tunable shard
+//!   skew and hot-key ratio, driving the sharded resolver's balanced best
+//!   case and its pathological single-hot-shard case,
 //! * [`random`] — seeded random task streams for tests and fuzzing,
 //! * [`analysis`] — task-graph analytics (parallelism profile, critical
 //!   path) used to regenerate Figure 4's ramp-effect illustration.
@@ -25,11 +28,13 @@ pub mod analysis;
 pub mod gaussian;
 pub mod grid;
 pub mod random;
+pub mod sharded_stress;
 pub mod stress;
 pub mod timing;
 pub mod video;
 
 pub use gaussian::{GaussianSource, GaussianSpec};
 pub use grid::{GridPattern, GridSpec};
+pub use sharded_stress::ShardedStressSpec;
 pub use timing::H264Timing;
 pub use video::VideoSpec;

@@ -11,9 +11,13 @@
 //! * [`workloads`] — the paper's benchmark generators,
 //! * [`core`] — the Nexus++ task pool, dependence table and resolution
 //!   protocol (the paper's primary contribution),
-//! * [`taskmachine`] — the full-system "Task Machine" simulator,
+//! * [`shard`] — sharded resolution: N address-partitioned engines
+//!   composed into one logically-equivalent resolver, with a batched
+//!   submission front-end and a per-shard-locked concurrent dispatcher,
+//! * [`taskmachine`] — the full-system "Task Machine" simulator, plus the
+//!   multi-Maestro sharded variant,
 //! * [`runtime`] — a real threaded StarSs-like runtime built on the same
-//!   resolution semantics,
+//!   resolution semantics (single-engine and sharded),
 //! * [`baseline`] — the original-Nexus limits model and a software-RTS
 //!   timing model.
 //!
@@ -78,6 +82,7 @@ pub use nexuspp_core as core;
 pub use nexuspp_desim as desim;
 pub use nexuspp_hw as hw;
 pub use nexuspp_runtime as runtime;
+pub use nexuspp_shard as shard;
 pub use nexuspp_taskmachine as taskmachine;
 pub use nexuspp_trace as trace;
 pub use nexuspp_workloads as workloads;

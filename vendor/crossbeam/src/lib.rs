@@ -4,7 +4,109 @@
 //! Only the surface the workspace uses is provided: [`channel`] with
 //! multi-producer **multi-consumer** `unbounded`/`bounded` channels
 //! (`std::sync::mpsc` receivers are not cloneable, so this is a small
-//! Mutex+Condvar queue instead of a wrapper).
+//! Mutex+Condvar queue instead of a wrapper), and [`queue`] with the
+//! non-blocking [`queue::SegQueue`] used by the sharded dispatcher's
+//! deferred-finish rings.
+
+pub mod queue {
+    //! Concurrent queues with the `crossbeam-queue` API shape.
+    //!
+    //! The real `SegQueue` is a lock-free segmented queue; this stand-in
+    //! is a `Mutex<VecDeque>` with the same non-blocking API. Push/pop
+    //! never wait for capacity or elements (there is no condvar), so
+    //! callers written against the real crate behave identically — only
+    //! the scalability of the queue itself differs, which is acceptable
+    //! for the in-tree uses (short per-shard rings drained under the
+    //! shard lock anyway).
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC queue with non-blocking `push`/`pop`.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueue an element. Never blocks.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Dequeue the oldest element, `None` if the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// True if the queue held no elements at the time of the check
+        /// (racy by nature, as in the real crate).
+        pub fn is_empty(&self) -> bool {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .is_empty()
+        }
+
+        /// Number of queued elements at the time of the check.
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_len() {
+            let q = SegQueue::new();
+            assert!(q.is_empty());
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_drain_completely() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = std::sync::Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..100u64 {
+                            q.push(t * 1000 + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 400);
+        }
+    }
+}
 
 pub mod channel {
     //! MPMC channels with the `crossbeam-channel` API shape.
