@@ -1,0 +1,80 @@
+//! Ready-task scheduling throughput: mutex queue vs work stealing on the
+//! imbalanced `steal_stress` workload.
+//!
+//! Two views:
+//!
+//! * `sched/*` — the scheduler layer alone, via the chain-stress harness
+//!   in `nexuspp_sched::stress` (tasks are a few atomic increments):
+//!   pure per-task scheduling overhead. This is the layer where the
+//!   acceptance bar lives — the ≥ 1.5× 4-worker comparison is asserted
+//!   deterministically in `nexuspp-sched`'s `steal_perf` test; the lines
+//!   printed here are the same measurement under criterion timing.
+//! * `runtime/*` — end to end through both execution backends (engine
+//!   resolution, region bookkeeping, panic fences included), so the
+//!   scheduler's share of total runtime overhead is visible.
+//!
+//! Steal/park counters are printed per configuration so regressions in
+//! redistribution (e.g. stealing stops happening) show up even where
+//! wall-clock noise hides them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexuspp_bench::steal_driver::{run_steal, Backend};
+use nexuspp_runtime::SchedulerKind;
+use nexuspp_sched::stress::{run_chain_stress, ChainStressSpec};
+use nexuspp_workloads::StealStressSpec;
+
+const KINDS: [SchedulerKind; 2] = [SchedulerKind::MutexQueue, SchedulerKind::WorkStealing];
+
+fn bench_sched_layer(c: &mut Criterion) {
+    let spec = ChainStressSpec {
+        workers: 4,
+        chains: 8,
+        chain_len: 2000,
+        spin_ns: 0,
+    };
+    let mut g = c.benchmark_group("ready_scheduling/sched");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(spec.task_count()));
+    for kind in KINDS {
+        // One reporting run outside the timer for the counters.
+        let r = run_chain_stress(kind, &spec);
+        println!(
+            "sched/{}: {} tasks, {} steals, {} parks, {} unparks",
+            kind.name(),
+            r.executed,
+            r.counts.steals,
+            r.counts.parks,
+            r.counts.unparks
+        );
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| run_chain_stress(kind, &spec));
+        });
+    }
+    g.finish();
+}
+
+fn bench_runtime_level(c: &mut Criterion) {
+    let spec = StealStressSpec::for_workers(4, 800);
+    let mut g = c.benchmark_group("ready_scheduling/runtime");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(spec.task_count()));
+    for backend in [Backend::Single, Backend::Sharded(4)] {
+        for kind in KINDS {
+            let r = run_steal(backend, kind, 4, &spec);
+            println!(
+                "runtime/{}/{}: {} tasks, {} steals",
+                backend.name(),
+                kind.name(),
+                r.tasks,
+                r.counts.steals
+            );
+            g.bench_function(&format!("{}_{}", backend.name(), kind.name()), |b| {
+                b.iter(|| run_steal(backend, kind, 4, &spec));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched_layer, bench_runtime_level);
+criterion_main!(benches);

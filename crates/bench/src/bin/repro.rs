@@ -16,6 +16,7 @@
 //!   ablate     buffering depth / bus / kick-off size (design ablations)
 //!   video      multi-frame H.264 pipelining          (extension)
 //!   shards     multi-Maestro shard scaling           (extension)
+//!   steal      ready-queue vs work-stealing sched    (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -30,7 +31,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|all> \
          [--full] [--quick] [--csv DIR]"
     );
     std::process::exit(2);
@@ -80,6 +81,7 @@ fn main() {
         "ablate" => run(vec![experiments::ablate(&opts)], &opts),
         "video" => run(vec![experiments::video(&opts)], &opts),
         "shards" => run(vec![experiments::shards(&opts)], &opts),
+        "steal" => run(vec![experiments::steal(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

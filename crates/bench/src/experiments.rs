@@ -946,6 +946,134 @@ pub fn shards(opts: &ExpOptions) -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------
+// Ready-task scheduling (work-stealing extension)
+// ---------------------------------------------------------------------
+
+/// Ready-scheduling study: mutex ready queue vs work-stealing deques on
+/// the imbalanced `steal_stress` workload, at the scheduler layer (pure
+/// scheduling overhead) and end-to-end through both runtime backends.
+/// Not a paper figure — this measures the serialization point the
+/// `nexuspp-sched` subsystem removes, the ROADMAP's "work-stealing ready
+/// queues" item.
+pub fn steal(opts: &ExpOptions) -> Experiment {
+    use crate::steal_driver::{best_steal, Backend};
+    use nexuspp_sched::stress::{best_of, ChainStressSpec};
+    use nexuspp_sched::SchedulerKind;
+    use nexuspp_workloads::StealStressSpec;
+
+    let kinds = [SchedulerKind::MutexQueue, SchedulerKind::WorkStealing];
+    let chain_len: u32 = if opts.quick { 800 } else { 4000 };
+    let runs: u32 = if opts.quick { 2 } else { 3 };
+
+    // Scheduler layer: tasks are a few atomic increments, so wall-clock
+    // is the scheduling overhead itself.
+    let mut sched_t = TextTable::new(vec![
+        "scheduler",
+        "workers",
+        "tasks",
+        "wall ms",
+        "Mtasks/s",
+        "vs mutex",
+        "steals",
+        "parks",
+    ]);
+    let mut ws_vs_mutex_at_4 = None;
+    for &workers in &[1usize, 2, 4] {
+        let spec = ChainStressSpec {
+            workers,
+            chains: 2 * workers.max(2) as u32,
+            chain_len,
+            spin_ns: 0,
+        };
+        let mut mutex_ms = None;
+        for kind in kinds {
+            let r = best_of(kind, &spec, runs);
+            let ms = r.elapsed.as_secs_f64() * 1e3;
+            let base = *mutex_ms.get_or_insert(ms);
+            let speedup = base / ms;
+            if workers == 4 && kind == SchedulerKind::WorkStealing {
+                ws_vs_mutex_at_4 = Some(speedup);
+            }
+            sched_t.row(vec![
+                kind.name().to_string(),
+                workers.to_string(),
+                spec.task_count().to_string(),
+                f2(ms),
+                f2(spec.task_count() as f64 / r.elapsed.as_secs_f64() / 1e6),
+                format!("{}x", f2(speedup)),
+                r.counts.steals.to_string(),
+                r.counts.parks.to_string(),
+            ]);
+        }
+    }
+
+    // End to end: the same DAG through both execution backends (engine
+    // resolution + region bookkeeping included), 4 workers.
+    let rt_spec = StealStressSpec::for_workers(4, if opts.quick { 400 } else { 1500 });
+    let mut rt_t = TextTable::new(vec![
+        "backend",
+        "scheduler",
+        "tasks",
+        "wall ms",
+        "Mtasks/s",
+        "vs mutex",
+        "steals",
+    ]);
+    for backend in [Backend::Single, Backend::Sharded(4)] {
+        let mut mutex_ms = None;
+        for kind in kinds {
+            let r = best_steal(backend, kind, 4, &rt_spec, runs);
+            let ms = r.elapsed.as_secs_f64() * 1e3;
+            let base = *mutex_ms.get_or_insert(ms);
+            rt_t.row(vec![
+                backend.name().to_string(),
+                kind.name().to_string(),
+                r.tasks.to_string(),
+                f2(ms),
+                f2(r.tasks_per_sec() / 1e6),
+                format!("{}x", f2(base / ms)),
+                r.counts.steals.to_string(),
+            ]);
+        }
+    }
+
+    let mut notes = vec![
+        "scheduler layer: per task the mutex baseline pays a queue-lock round, a wake \
+         token through a Mutex+Condvar channel, and another queue-lock round; work \
+         stealing pays a handful of deque atomics on the owner path"
+            .into(),
+        "the >= 1.5x 4-worker bar is asserted deterministically in \
+         nexuspp-sched tests/steal_perf.rs (best-of-3); rows here are 'best of N' \
+         measurements of the same workload"
+            .into(),
+        "end-to-end rows include dependency resolution and region bookkeeping, which \
+         are identical across schedulers, so ratios are smaller than the \
+         scheduler-layer ones"
+            .into(),
+    ];
+    if let Some(speedup) = ws_vs_mutex_at_4 {
+        if speedup < 1.5 {
+            notes.insert(
+                0,
+                format!(
+                    "REGRESSION: scheduler-layer work stealing at 4 workers is only \
+                     {speedup:.2}x the mutex queue (bar: 1.5x)"
+                ),
+            );
+        }
+    }
+    Experiment {
+        id: "steal",
+        title: "Ready-task scheduling: mutex queue vs work stealing (steal_stress)".into(),
+        tables: vec![
+            ("Scheduler layer (pure scheduling overhead)".into(), sched_t),
+            ("End to end through the runtimes (4 workers)".into(), rt_t),
+        ],
+        notes,
+    }
+}
+
 /// Run every experiment.
 pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
     vec![
@@ -961,6 +1089,7 @@ pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
         ablate(opts),
         video(opts),
         shards(opts),
+        steal(opts),
     ]
 }
 
@@ -1008,6 +1137,19 @@ mod tests {
                 "row {row} ratio {ratio} outside ±40% band"
             );
         }
+    }
+
+    #[test]
+    fn steal_tables_have_expected_shape() {
+        let e = steal(&quick());
+        // Scheduler layer: 2 kinds × workers {1, 2, 4}.
+        assert_eq!(e.tables[0].1.len(), 6);
+        // End to end: 2 backends × 2 kinds.
+        assert_eq!(e.tables[1].1.len(), 4);
+        // Shape only: the 1.5x bar itself is asserted by the dedicated
+        // nexuspp-sched perf test (full sizes, best-of-3, own process);
+        // re-asserting it here on quick debug-mode sizes would only add
+        // a second, noisier flake surface for the same property.
     }
 
     #[test]

@@ -17,8 +17,11 @@
 //! | §III-B efficiency vs Nexus | [`experiments::nexus_vs`] | `repro nexus-vs` |
 //! | §I motivation (software RTS) | [`experiments::rts`] | `repro rts` |
 //! | design ablations | [`experiments::ablate`] | `repro ablate` |
+//! | shard scaling (extension) | [`experiments::shards`] | `repro shards` |
+//! | ready scheduling (extension) | [`experiments::steal`] | `repro steal` |
 
 pub mod experiments;
+pub mod steal_driver;
 pub mod table;
 
 pub use experiments::ExpOptions;

@@ -24,17 +24,22 @@
 //!   protocol must produce exactly the same ready sets,
 //! * [`config`] — capacities (Table IV defaults) including the *growable*
 //!   mode used by the threaded runtime, where capacity virtualization
-//!   (dummy tasks/entries) is unnecessary.
+//!   (dummy tasks/entries) is unnecessary,
+//! * [`priority`] — the ready-task handoff types (the StarSs
+//!   `highpriority` clause) shared by the schedulers and runtimes that
+//!   consume what the engine releases.
 
 pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod oracle;
 pub mod pool;
+pub mod priority;
 pub mod table;
 
 pub use config::NexusConfig;
 pub use cost::OpCost;
 pub use engine::{AdmitError, CheckProgress, DependencyEngine, FinishResult};
 pub use pool::{PoolError, TaskPool, TdIndex};
+pub use priority::Priority;
 pub use table::{address_hash, shard_of_addr, DepTable, TableFull};

@@ -1,0 +1,57 @@
+//! Ready-task handoff types shared between the dependency engines and the
+//! schedulers that execute what they release.
+//!
+//! The StarSs `highpriority` clause (§II of the paper) marks tasks that
+//! should overtake already-queued normal work once their dependencies
+//! clear. Resolution does not care about priority — it is purely a
+//! property of the *ready-task handoff* — so the type lives here, next to
+//! the engine that produces ready tasks, and is consumed by
+//! `nexuspp-sched` and the runtimes.
+
+/// Scheduling class of a ready task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Overtakes queued [`Normal`](Priority::Normal) tasks once ready
+    /// (the StarSs `highpriority` clause).
+    High,
+    /// Default scheduling class.
+    #[default]
+    Normal,
+}
+
+impl Priority {
+    /// True for [`Priority::High`].
+    pub fn is_high(self) -> bool {
+        self == Priority::High
+    }
+
+    /// Map the builder-level `highpriority` flag to a priority.
+    pub fn from_high_flag(high: bool) -> Self {
+        if high {
+            Priority::High
+        } else {
+            Priority::Normal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        assert_eq!(Priority::from_high_flag(true), Priority::High);
+        assert_eq!(Priority::from_high_flag(false), Priority::Normal);
+        assert!(Priority::High.is_high());
+        assert!(!Priority::Normal.is_high());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn high_sorts_before_normal() {
+        let mut v = [Priority::Normal, Priority::High, Priority::Normal];
+        v.sort();
+        assert_eq!(v[0], Priority::High);
+    }
+}

@@ -38,11 +38,18 @@
 //! dependency resolution partitioned across N engines behind per-shard
 //! locks (see [`sharded`]), removing the single global engine lock from
 //! every task completion.
+//!
+//! Both backends hand ready tasks to their workers through the
+//! `nexuspp-sched` scheduling layer: per-worker work-stealing deques by
+//! default, with the previous global mutex queue selectable via
+//! [`SchedulerKind`] (`Runtime::with_scheduler` /
+//! `ShardedRuntime::with_scheduler`) for differential comparison.
 
 pub mod region;
 pub mod runtime;
 pub mod sharded;
 
+pub use nexuspp_sched::{SchedCounts, SchedulerKind};
 pub use region::{Region, RegionId};
 pub use runtime::{Runtime, TaskBuilder, TaskCtx};
 pub use sharded::{ShardedRuntime, ShardedTaskBuilder};

@@ -2,18 +2,25 @@
 //!
 //! Submission mirrors the paper's master core: the submitting thread
 //! admits the task into the (growable, software) engine and checks its
-//! dependencies; ready tasks go straight to the worker queue, dependent
-//! ones park until a completion wakes them — the software analogue of the
-//! Kick-Off List wake-up performed by `Handle Finished`.
+//! dependencies; ready tasks go to the scheduler, dependent ones park
+//! until a completion wakes them — the software analogue of the Kick-Off
+//! List wake-up performed by `Handle Finished`.
+//!
+//! Ready tasks are handed to workers through a
+//! [`nexuspp_sched::Scheduler`]: per-worker work-stealing deques by
+//! default (a worker that completes a task keeps the tasks it woke on its
+//! own deque and idle workers steal), with the previous global
+//! mutex-queue + wake-token scheme selectable via
+//! [`SchedulerKind::MutexQueue`] for differential comparison.
 
 use crate::region::{ReadGuard, Region, RegionId, WriteGuard};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use nexuspp_core::pool::TdIndex;
-use nexuspp_core::{DependencyEngine, NexusConfig};
+use nexuspp_core::{DependencyEngine, NexusConfig, Priority};
+use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -25,47 +32,18 @@ struct Work {
     td: TdIndex,
     grants: Grants,
     job: Job,
-    high_priority: bool,
-}
-
-/// Worker-queue token: work is available, or an orderly shutdown request.
-/// The actual work lives in the two-level ready queue so high-priority
-/// tasks (the StarSs `highpriority` clause) overtake normal ones.
-enum Msg {
-    Wake,
-    Shutdown,
-}
-
-#[derive(Default)]
-struct ReadyQueue {
-    high: VecDeque<Work>,
-    normal: VecDeque<Work>,
-}
-
-impl ReadyQueue {
-    fn push(&mut self, work: Work) {
-        if work.high_priority {
-            self.high.push_back(work);
-        } else {
-            self.normal.push_back(work);
-        }
-    }
-
-    fn pop(&mut self) -> Option<Work> {
-        self.high.pop_front().or_else(|| self.normal.pop_front())
-    }
+    prio: Priority,
 }
 
 struct RtState {
     engine: DependencyEngine,
     parked: HashMap<u32, Work>,
-    ready: ReadyQueue,
     submitted: u64,
 }
 
 struct Inner {
     state: Mutex<RtState>,
-    tx: Sender<Msg>,
+    sched: Scheduler<Work>,
     pending: Mutex<u64>,
     quiescent: Condvar,
     /// First task panic observed (re-raised at the next barrier).
@@ -73,30 +51,40 @@ struct Inner {
 }
 
 impl Inner {
-    fn task_finished(&self, td: TdIndex) {
-        let mut st = self.state.lock();
-        let fin = st.engine.finish(td);
-        let mut woken = 0;
-        for ready in fin.newly_ready {
-            let work = st
-                .parked
-                .remove(&ready.0)
-                .expect("woken task must be parked");
-            st.ready.push(work);
-            woken += 1;
-        }
-        drop(st);
-        for _ in 0..woken {
-            self.tx
-                .send(Msg::Wake)
-                .expect("worker channel closed while tasks in flight");
-        }
+    /// Retire `td` in the engine and deliver the whole wake set as one
+    /// batched scheduling operation from worker `h`.
+    fn task_finished(&self, h: &WorkerHandle<Work>, td: TdIndex) {
+        let woken: Vec<(Work, Priority)> = {
+            let mut st = self.state.lock();
+            let fin = st.engine.finish(td);
+            fin.newly_ready
+                .into_iter()
+                .map(|ready| {
+                    let work = st
+                        .parked
+                        .remove(&ready.0)
+                        .expect("woken task must be parked");
+                    let prio = work.prio;
+                    (work, prio)
+                })
+                .collect()
+        };
+        self.sched.wake_batch(h, woken);
         let mut p = self.pending.lock();
         *p -= 1;
         if *p == 0 {
             self.quiescent.notify_all();
         }
     }
+}
+
+/// Render a caught task-panic payload for barrier re-raising.
+pub(crate) fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic>".into())
 }
 
 /// Execution context handed to every task closure. Grants access to the
@@ -182,6 +170,7 @@ impl<'rt> TaskBuilder<'rt> {
             let mut p = inner.pending.lock();
             *p += 1;
         }
+        let prio = Priority::from_high_flag(self.high_priority);
         let mut st = inner.state.lock();
         st.submitted += 1;
         let tag = st.submitted;
@@ -193,12 +182,11 @@ impl<'rt> TaskBuilder<'rt> {
             td,
             grants,
             job: Box::new(f),
-            high_priority: self.high_priority,
+            prio,
         };
         if ready {
-            st.ready.push(work);
             drop(st);
-            inner.tx.send(Msg::Wake).expect("worker channel closed");
+            inner.sched.submit(work, prio);
         } else {
             st.parked.insert(td.0, work);
         }
@@ -212,70 +200,50 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Start a runtime with `n` worker threads.
+    /// Start a runtime with `n` worker threads and the default
+    /// (work-stealing) scheduler.
     pub fn new(n: usize) -> Self {
+        Runtime::with_scheduler(n, SchedulerKind::default())
+    }
+
+    /// Start a runtime with `n` worker threads scheduling ready tasks
+    /// through `kind`.
+    pub fn with_scheduler(n: usize, kind: SchedulerKind) -> Self {
         assert!(n >= 1, "need at least one worker");
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let (sched, handles) = Scheduler::new(kind, n);
         let inner = Arc::new(Inner {
             state: Mutex::new(RtState {
                 engine: DependencyEngine::new(&NexusConfig::unbounded()),
                 parked: HashMap::new(),
-                ready: ReadyQueue::default(),
                 submitted: 0,
             }),
-            tx,
+            sched,
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             panicked: Mutex::new(None),
         });
-        let workers = (0..n)
-            .map(|i| {
-                let rx = rx.clone();
+        let workers = handles
+            .into_iter()
+            .map(|h| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("nexuspp-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(msg) = rx.recv() {
-                            match msg {
-                                Msg::Wake => {
-                                    let work = inner
-                                        .state
-                                        .lock()
-                                        .ready
-                                        .pop()
-                                        .expect("wake token without ready work");
-                                    let ctx = TaskCtx {
-                                        grants: work.grants,
-                                    };
-                                    // Keep the runtime's bookkeeping sound
-                                    // even when a task panics: record the
-                                    // payload, finish the task, re-raise
-                                    // at the next barrier.
-                                    let result = std::panic::catch_unwind(
-                                        std::panic::AssertUnwindSafe(|| (work.job)(&ctx)),
-                                    );
-                                    if let Err(payload) = result {
-                                        let msg = payload
-                                            .downcast_ref::<String>()
-                                            .cloned()
-                                            .or_else(|| {
-                                                payload
-                                                    .downcast_ref::<&str>()
-                                                    .map(|s| s.to_string())
-                                            })
-                                            .unwrap_or_else(|| "<non-string panic>".into());
-                                        inner.panicked.lock().get_or_insert(msg);
-                                    }
-                                    inner.task_finished(work.td);
-                                }
-                                Msg::Shutdown => break,
-                            }
-                        }
-                    })
+                    .name(format!("nexuspp-worker-{}", h.id()))
+                    .spawn(move || worker_loop(&inner, &h))
                     .expect("failed to spawn worker thread")
             })
             .collect();
         Runtime { inner, workers }
+    }
+
+    /// Which ready-task scheduler this runtime drives.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.inner.sched.kind()
+    }
+
+    /// Scheduler activity counters (steals, parks, …; exact once
+    /// quiescent — call after [`barrier`](Self::barrier)).
+    pub fn sched_counts(&self) -> SchedCounts {
+        self.inner.sched.counts()
     }
 
     /// Allocate a data region managed by this runtime.
@@ -336,6 +304,22 @@ impl Runtime {
     }
 }
 
+fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Work>) {
+    while let Some(work) = inner.sched.next(h) {
+        let ctx = TaskCtx {
+            grants: work.grants,
+        };
+        // Keep the runtime's bookkeeping sound even when a task panics:
+        // record the payload, finish the task, re-raise at the next
+        // barrier.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (work.job)(&ctx)));
+        if let Err(payload) = result {
+            inner.panicked.lock().get_or_insert(panic_msg(&*payload));
+        }
+        inner.task_finished(h, work.td);
+    }
+}
+
 impl Drop for Runtime {
     fn drop(&mut self) {
         // Drain in-flight work (without re-raising task panics — Drop
@@ -346,9 +330,7 @@ impl Drop for Runtime {
                 self.inner.quiescent.wait(&mut p);
             }
         }
-        for _ in 0..self.workers.len() {
-            let _ = self.inner.tx.send(Msg::Shutdown);
-        }
+        self.inner.sched.shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

@@ -14,16 +14,24 @@
 //! composes the same `DependencyEngine` the single-lock runtime uses, and
 //! the sharded composition is differentially verified against it and the
 //! oracle in `nexuspp-shard`.
+//!
+//! Ready tasks flow through the same [`nexuspp_sched::Scheduler`] as the
+//! single-engine runtime (work-stealing by default, the mutex queue
+//! selectable for comparison). A finish report's wakes — which may
+//! include tasks drained on behalf of other workers — are delivered as
+//! **one** batched scheduling operation: under the mutex queue that is
+//! one lock acquisition and one `Wake(n)` token instead of a queue-lock +
+//! channel-send per wake; under work stealing the whole burst lands on
+//! the finishing worker's own deque and idle workers steal it back out.
 
 use crate::region::{Region, RegionId};
 use crate::runtime::{Grants, Job, TaskCtx};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use nexuspp_core::NexusConfig;
+use nexuspp_core::{NexusConfig, Priority};
+use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
 use nexuspp_shard::{ShardDispatcher, TaskTicket};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,41 +40,15 @@ use std::thread::JoinHandle;
 struct Work {
     grants: Grants,
     job: Job,
-    high_priority: bool,
+    prio: Priority,
 }
 
 /// A scheduled unit: the dispatcher ticket plus the work to run.
 type Ready = (TaskTicket<Work>, Work);
 
-enum Msg {
-    Wake,
-    Shutdown,
-}
-
-#[derive(Default)]
-struct ReadyQueue {
-    high: VecDeque<Ready>,
-    normal: VecDeque<Ready>,
-}
-
-impl ReadyQueue {
-    fn push(&mut self, r: Ready) {
-        if r.1.high_priority {
-            self.high.push_back(r);
-        } else {
-            self.normal.push_back(r);
-        }
-    }
-
-    fn pop(&mut self) -> Option<Ready> {
-        self.high.pop_front().or_else(|| self.normal.pop_front())
-    }
-}
-
 struct Inner {
     dispatcher: ShardDispatcher<Work>,
-    ready: Mutex<ReadyQueue>,
-    tx: Sender<Msg>,
+    sched: Scheduler<Ready>,
     /// Tag counter; atomic so submissions don't serialize on a lock.
     submitted: AtomicU64,
     /// Tasks spawned and not yet fully retired. This lock pairs with the
@@ -75,16 +57,6 @@ struct Inner {
     quiescent: Condvar,
     /// First task panic observed (re-raised at the next barrier).
     panicked: Mutex<Option<String>>,
-}
-
-impl Inner {
-    /// Enqueue a ready unit and wake one worker.
-    fn schedule(&self, r: Ready) {
-        self.ready.lock().push(r);
-        self.tx
-            .send(Msg::Wake)
-            .expect("worker channel closed while tasks in flight");
-    }
 }
 
 /// Declarative task builder for the sharded runtime (same surface as
@@ -136,14 +108,15 @@ impl<'rt> ShardedTaskBuilder<'rt> {
             *p += 1;
         }
         let tag = inner.submitted.fetch_add(1, Ordering::Relaxed) + 1;
+        let prio = Priority::from_high_flag(self.high_priority);
         let work = Work {
             grants,
             job: Box::new(f),
-            high_priority: self.high_priority,
+            prio,
         };
         let res = inner.dispatcher.submit(0, tag, &params, work);
         if let Some(work) = res.ready {
-            inner.schedule((res.ticket, work));
+            inner.sched.submit((res.ticket, work), prio);
         }
         // A parked task's ticket resurfaces in some FinishReport::woken.
     }
@@ -157,26 +130,31 @@ pub struct ShardedRuntime {
 
 impl ShardedRuntime {
     /// Start a runtime with `n` worker threads resolving dependencies
-    /// across `shards` engines.
+    /// across `shards` engines, scheduling through the default
+    /// (work-stealing) scheduler.
     pub fn new(n: usize, shards: usize) -> Self {
+        ShardedRuntime::with_scheduler(n, shards, SchedulerKind::default())
+    }
+
+    /// Start a runtime with an explicit ready-task scheduler kind.
+    pub fn with_scheduler(n: usize, shards: usize, kind: SchedulerKind) -> Self {
         assert!(n >= 1, "need at least one worker");
-        let (tx, rx): (Sender<Msg>, Receiver<Msg>) = unbounded();
+        let (sched, handles) = Scheduler::new(kind, n);
         let inner = Arc::new(Inner {
             dispatcher: ShardDispatcher::new(shards, &NexusConfig::unbounded()),
-            ready: Mutex::new(ReadyQueue::default()),
-            tx,
+            sched,
             submitted: AtomicU64::new(0),
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             panicked: Mutex::new(None),
         });
-        let workers = (0..n)
-            .map(|i| {
-                let rx = rx.clone();
+        let workers = handles
+            .into_iter()
+            .map(|h| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("nexuspp-shard-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &inner))
+                    .name(format!("nexuspp-shard-worker-{}", h.id()))
+                    .spawn(move || worker_loop(&inner, &h))
                     .expect("failed to spawn worker thread")
             })
             .collect();
@@ -186,6 +164,17 @@ impl ShardedRuntime {
     /// Number of shards resolution is partitioned over.
     pub fn n_shards(&self) -> usize {
         self.inner.dispatcher.n_shards()
+    }
+
+    /// Which ready-task scheduler this runtime drives.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.inner.sched.kind()
+    }
+
+    /// Scheduler activity counters (steals, parks, …; exact once
+    /// quiescent — call after [`barrier`](Self::barrier)).
+    pub fn sched_counts(&self) -> SchedCounts {
+        self.inner.sched.counts()
     }
 
     /// Allocate a data region managed by this runtime.
@@ -238,42 +227,37 @@ impl ShardedRuntime {
     }
 }
 
-fn worker_loop(rx: &Receiver<Msg>, inner: &Arc<Inner>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Wake => {
-                let (ticket, work) = inner
-                    .ready
-                    .lock()
-                    .pop()
-                    .expect("wake token without ready work");
-                let ctx = TaskCtx::from_grants(work.grants);
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (work.job)(&ctx)));
-                if let Err(payload) = result {
-                    let msg = payload
-                        .downcast_ref::<String>()
-                        .cloned()
-                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                        .unwrap_or_else(|| "<non-string panic>".into());
-                    inner.panicked.lock().get_or_insert(msg);
-                }
-                // Retire through the sharded dispatcher: only the shards
-                // this task touched are locked, and the report may carry
-                // wakes/completions drained on behalf of other workers.
-                let report = inner.dispatcher.finish(ticket);
-                for woken in report.woken {
-                    inner.schedule(woken);
-                }
-                if report.completed > 0 {
-                    let mut p = inner.pending.lock();
-                    *p -= report.completed;
-                    if *p == 0 {
-                        inner.quiescent.notify_all();
-                    }
-                }
+fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Ready>) {
+    while let Some((ticket, work)) = inner.sched.next(h) {
+        let ctx = TaskCtx::from_grants(work.grants);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (work.job)(&ctx)));
+        if let Err(payload) = result {
+            inner
+                .panicked
+                .lock()
+                .get_or_insert(crate::runtime::panic_msg(&*payload));
+        }
+        // Retire through the sharded dispatcher: only the shards this
+        // task touched are locked, and the report may carry wakes and
+        // completions drained on behalf of other workers. The whole wake
+        // set is delivered as one batched scheduling operation.
+        let report = inner.dispatcher.finish(ticket);
+        let completed = report.completed;
+        let woken: Vec<(Ready, Priority)> = report
+            .woken
+            .into_iter()
+            .map(|(ticket, work)| {
+                let prio = work.prio;
+                ((ticket, work), prio)
+            })
+            .collect();
+        inner.sched.wake_batch(h, woken);
+        if completed > 0 {
+            let mut p = inner.pending.lock();
+            *p -= report.completed;
+            if *p == 0 {
+                inner.quiescent.notify_all();
             }
-            Msg::Shutdown => break,
         }
     }
 }
@@ -288,9 +272,7 @@ impl Drop for ShardedRuntime {
                 self.inner.quiescent.wait(&mut p);
             }
         }
-        for _ in 0..self.workers.len() {
-            let _ = self.inner.tx.send(Msg::Shutdown);
-        }
+        self.inner.sched.shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

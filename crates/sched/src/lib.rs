@@ -1,0 +1,227 @@
+//! # nexuspp-sched — the ready-task scheduling layer
+//!
+//! After PR 2 sharded dependency *resolution*, both runtimes still
+//! funneled every ready task through one `Mutex<ReadyQueue>` plus one
+//! wake-token channel — four serialized lock acquisitions per task, the
+//! next bottleneck ROADMAP named. This crate is that layer, extracted and
+//! replaced: a work-stealing scheduler in the style task-based runtimes
+//! converged on once resolution stopped being the bottleneck (Álvarez et
+//! al., *Advanced Synchronization Techniques for Task-based Runtime
+//! Systems*, arXiv:2105.07902; the Nanos6/CppSs lineage of StarSs).
+//!
+//! Two implementations sit behind one API, selected by [`SchedulerKind`]:
+//!
+//! * [`SchedulerKind::WorkStealing`] *(default)* — per-worker Chase–Lev
+//!   deques (LIFO owner pop, FIFO steal), a lock-free global injector for
+//!   spawns, a global high-priority queue, and parking so idle workers
+//!   hold no CPU. A worker that wakes dependent tasks keeps them local;
+//!   idle workers steal oldest-first.
+//! * [`SchedulerKind::MutexQueue`] — the previous global-mutex ready
+//!   queue with channel wake tokens, kept fully functional for
+//!   differential testing and as the measured baseline of
+//!   `repro -- steal`.
+//!
+//! Workers interact through a per-thread [`WorkerHandle`]; spawning
+//! threads use [`Scheduler::submit`]. Wakes produced by a finish report
+//! are delivered with [`Scheduler::wake_batch`] — one queue operation and
+//! one wake token for the whole report, regardless of scheduler kind.
+//!
+//! ```
+//! use nexuspp_core::Priority;
+//! use nexuspp_sched::{Scheduler, SchedulerKind};
+//!
+//! let (sched, handles) = Scheduler::<u64>::new(SchedulerKind::WorkStealing, 2);
+//! let sched = std::sync::Arc::new(sched);
+//! let workers: Vec<_> = handles
+//!     .into_iter()
+//!     .map(|h| {
+//!         let sched = std::sync::Arc::clone(&sched);
+//!         std::thread::spawn(move || {
+//!             let mut sum = 0u64;
+//!             while let Some(v) = sched.next(&h) {
+//!                 sum += v;
+//!             }
+//!             sum
+//!         })
+//!     })
+//!     .collect();
+//! for v in 1..=10u64 {
+//!     sched.submit(v, Priority::Normal);
+//! }
+//! // Workers drain the queue; shut down once everything was dispatched.
+//! while sched.counts().dispatched() < 10 {
+//!     std::thread::yield_now();
+//! }
+//! sched.shutdown();
+//! let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+//! assert_eq!(total, 55);
+//! ```
+
+mod metrics;
+mod mutex_queue;
+pub mod stress;
+mod work_steal;
+
+pub use metrics::SchedCounts;
+pub use nexuspp_core::Priority;
+
+use crossbeam::deque;
+use metrics::SchedMetrics;
+use mutex_queue::MutexScheduler;
+use work_steal::WorkStealScheduler;
+
+/// Which ready-task scheduler a runtime drives its workers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The pre-sched global queue: one mutex, wake tokens over a channel.
+    MutexQueue,
+    /// Per-worker work-stealing deques with a lock-free injector.
+    #[default]
+    WorkStealing,
+}
+
+impl SchedulerKind {
+    /// Short stable name (table rows, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::MutexQueue => "mutex-queue",
+            SchedulerKind::WorkStealing => "work-stealing",
+        }
+    }
+}
+
+/// Per-worker-thread scheduler endpoint. Created by [`Scheduler::new`]
+/// and moved into the worker thread; identifies the worker and, for the
+/// work-stealing kind, owns its deque.
+pub struct WorkerHandle<T> {
+    pub(crate) id: usize,
+    pub(crate) local: Option<deque::Worker<T>>,
+}
+
+impl<T> WorkerHandle<T> {
+    /// This worker's index in `0..n_workers`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+}
+
+enum Imp<T> {
+    Mutex(MutexScheduler<T>),
+    Ws(WorkStealScheduler<T>),
+}
+
+/// A ready-task scheduler shared by `n` workers (plus any number of
+/// submitting threads).
+pub struct Scheduler<T> {
+    imp: Imp<T>,
+    metrics: SchedMetrics,
+    n_workers: usize,
+}
+
+impl<T: Send> Scheduler<T> {
+    /// Build a scheduler and one [`WorkerHandle`] per worker. Handle `i`
+    /// belongs to worker `i`; each must be moved into exactly one thread.
+    pub fn new(kind: SchedulerKind, n_workers: usize) -> (Self, Vec<WorkerHandle<T>>) {
+        assert!(n_workers >= 1, "need at least one worker");
+        let (imp, locals) = match kind {
+            SchedulerKind::MutexQueue => (Imp::Mutex(MutexScheduler::new()), None),
+            SchedulerKind::WorkStealing => {
+                let (ws, locals) = WorkStealScheduler::new(n_workers);
+                (Imp::Ws(ws), Some(locals))
+            }
+        };
+        let mut locals: Vec<Option<deque::Worker<T>>> = match locals {
+            Some(v) => v.into_iter().map(Some).collect(),
+            None => (0..n_workers).map(|_| None).collect(),
+        };
+        let handles = (0..n_workers)
+            .map(|id| WorkerHandle {
+                id,
+                local: locals[id].take(),
+            })
+            .collect();
+        (
+            Scheduler {
+                imp,
+                metrics: SchedMetrics::default(),
+                n_workers,
+            },
+            handles,
+        )
+    }
+
+    /// Which implementation this scheduler runs.
+    pub fn kind(&self) -> SchedulerKind {
+        match self.imp {
+            Imp::Mutex(_) => SchedulerKind::MutexQueue,
+            Imp::Ws(_) => SchedulerKind::WorkStealing,
+        }
+    }
+
+    /// Number of workers this scheduler was built for.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Hand a ready task to the workers from outside worker context
+    /// (task spawns, wait-on probes).
+    pub fn submit(&self, item: T, prio: Priority) {
+        SchedMetrics::bump(&self.metrics.submitted);
+        match &self.imp {
+            Imp::Mutex(m) => m.push(item, prio),
+            Imp::Ws(ws) => ws.push_external(item, prio, &self.metrics),
+        }
+    }
+
+    /// Deliver one wake from worker `h` (a task it completed released
+    /// `item`). Prefer [`wake_batch`](Self::wake_batch) for whole finish
+    /// reports.
+    pub fn wake(&self, h: &WorkerHandle<T>, item: T, prio: Priority) {
+        match &self.imp {
+            Imp::Mutex(m) => m.push(item, prio),
+            Imp::Ws(ws) => ws.push_local(h, item, prio, &self.metrics),
+        }
+    }
+
+    /// Deliver a whole finish report's wakes in one scheduling operation:
+    /// one queue lock + one wake token (mutex kind), or a run of local
+    /// deque pushes with at most one unpark per item (work-stealing
+    /// kind). No channel round-trip per wake either way.
+    pub fn wake_batch(&self, h: &WorkerHandle<T>, items: Vec<(T, Priority)>) {
+        if items.is_empty() {
+            return;
+        }
+        SchedMetrics::bump(&self.metrics.wake_batches);
+        match &self.imp {
+            Imp::Mutex(m) => m.push_batch(items),
+            Imp::Ws(ws) => {
+                for (item, prio) in items {
+                    ws.push_local(h, item, prio, &self.metrics);
+                }
+            }
+        }
+    }
+
+    /// Blocking pop for worker `h`: the next task to execute, or `None`
+    /// once the scheduler shut down and no work remains.
+    pub fn next(&self, h: &WorkerHandle<T>) -> Option<T> {
+        match &self.imp {
+            Imp::Mutex(m) => m.next(&self.metrics),
+            Imp::Ws(ws) => ws.next(h, &self.metrics),
+        }
+    }
+
+    /// Stop all workers. Callers must have reached quiescence (no tasks
+    /// in flight); pending queue contents are not drained.
+    pub fn shutdown(&self) {
+        match &self.imp {
+            Imp::Mutex(m) => m.shutdown(self.n_workers),
+            Imp::Ws(ws) => ws.shutdown(),
+        }
+    }
+
+    /// Snapshot of the activity counters (exact at quiescence).
+    pub fn counts(&self) -> SchedCounts {
+        self.metrics.snapshot()
+    }
+}

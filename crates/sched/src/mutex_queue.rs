@@ -1,0 +1,134 @@
+//! The baseline scheduler: one global two-level ready queue behind a
+//! mutex, with wake tokens delivered over an MPMC channel.
+//!
+//! This is, deliberately, the scheme both runtimes used before the
+//! work-stealing scheduler existed (PR 2 and earlier): every ready task
+//! takes the global queue lock to enqueue, a wake token travels through a
+//! Mutex+Condvar channel, and the receiving worker takes the queue lock
+//! again to dequeue — four serialized lock acquisitions per task, which
+//! is exactly the serialization point the work-stealing scheduler
+//! removes. It stays selectable through
+//! [`SchedulerKind::MutexQueue`](crate::SchedulerKind) so differential
+//! tests and the `repro -- steal` experiment can compare both under
+//! identical workloads.
+//!
+//! The only change from the seed runtimes is batched wake delivery: a
+//! finish report's wakes enter the queue under **one** lock acquisition
+//! and ride **one** `Wake(n)` token (receivers re-emit `Wake(n-1)`), so
+//! the finisher's critical path no longer pays one send per woken task.
+
+use crate::metrics::SchedMetrics;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nexuspp_core::Priority;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Wake-token protocol: `Wake(n)` promises `n` queued items.
+enum Token {
+    Wake(u32),
+    Shutdown,
+}
+
+struct TwoLevel<T> {
+    high: VecDeque<T>,
+    normal: VecDeque<T>,
+}
+
+impl<T> Default for TwoLevel<T> {
+    fn default() -> Self {
+        TwoLevel {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+        }
+    }
+}
+
+impl<T> TwoLevel<T> {
+    fn push(&mut self, item: T, prio: Priority) {
+        if prio.is_high() {
+            self.high.push_back(item);
+        } else {
+            self.normal.push_back(item);
+        }
+    }
+
+    /// Two-level pop: high-priority tasks overtake queued normals.
+    fn pop(&mut self) -> Option<(T, Priority)> {
+        if let Some(item) = self.high.pop_front() {
+            return Some((item, Priority::High));
+        }
+        self.normal.pop_front().map(|item| (item, Priority::Normal))
+    }
+}
+
+pub(crate) struct MutexScheduler<T> {
+    ready: Mutex<TwoLevel<T>>,
+    tx: Sender<Token>,
+    rx: Receiver<Token>,
+}
+
+impl<T: Send> MutexScheduler<T> {
+    pub(crate) fn new() -> Self {
+        let (tx, rx) = unbounded();
+        MutexScheduler {
+            ready: Mutex::new(TwoLevel::default()),
+            tx,
+            rx,
+        }
+    }
+
+    pub(crate) fn push(&self, item: T, prio: Priority) {
+        self.ready.lock().push(item, prio);
+        self.tx
+            .send(Token::Wake(1))
+            .expect("worker channel closed while tasks in flight");
+    }
+
+    /// Enqueue a whole batch under one lock acquisition and one token.
+    pub(crate) fn push_batch(&self, items: Vec<(T, Priority)>) {
+        let n = items.len() as u32;
+        if n == 0 {
+            return;
+        }
+        {
+            let mut q = self.ready.lock();
+            for (item, prio) in items {
+                q.push(item, prio);
+            }
+        }
+        self.tx
+            .send(Token::Wake(n))
+            .expect("worker channel closed while tasks in flight");
+    }
+
+    pub(crate) fn next(&self, metrics: &SchedMetrics) -> Option<T> {
+        match self.rx.recv() {
+            Ok(Token::Wake(n)) => {
+                if n > 1 {
+                    // Pass the remainder of the batch on before working,
+                    // so sibling workers start on it immediately.
+                    let _ = self.tx.send(Token::Wake(n - 1));
+                }
+                let (item, prio) = self
+                    .ready
+                    .lock()
+                    .pop()
+                    .expect("wake token without ready work");
+                SchedMetrics::bump(if prio.is_high() {
+                    &metrics.high_pops
+                } else {
+                    &metrics.injector_pops
+                });
+                Some(item)
+            }
+            Ok(Token::Shutdown) | Err(_) => None,
+        }
+    }
+
+    /// Stop `n_workers` workers: one `Shutdown` token each.
+    pub(crate) fn shutdown(&self, n_workers: usize) {
+        for _ in 0..n_workers {
+            let _ = self.tx.send(Token::Shutdown);
+        }
+    }
+}

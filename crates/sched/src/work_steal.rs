@@ -1,0 +1,258 @@
+//! The work-stealing scheduler: per-worker Chase–Lev deques, lock-free
+//! global injectors, and parking for idle workers.
+//!
+//! Scheduling policy (the classic work-first discipline):
+//!
+//! 1. the global **high-priority** queue — StarSs `highpriority` tasks
+//!    overtake everything, whichever worker they land on,
+//! 2. the worker's **own deque**, newest-first (LIFO) — a worker that
+//!    wakes a chain of dependent tasks keeps executing that chain with
+//!    hot caches and zero shared-state traffic,
+//! 3. the global **injector**, oldest-first — externally spawned tasks,
+//! 4. **stealing** from sibling deques, oldest-first (FIFO) — idle
+//!    workers take the *least* recently produced work, which in fan-out
+//!    workloads is the root of the largest remaining subtree.
+//!
+//! A worker that completes the sweep empty-handed parks on its own
+//! condvar. The sleeper handshake is the standard two-phase one: register
+//! in the sleeper stack, then re-run the sweep before actually blocking.
+//! Producers publish work *before* checking the sleeper count (both with
+//! sequentially consistent operations), so either the producer observes
+//! the registration and unparks, or the re-check observes the work — a
+//! wake can be spurious but never lost.
+
+use crate::metrics::SchedMetrics;
+use crate::WorkerHandle;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use nexuspp_core::Priority;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One worker's parking spot.
+#[derive(Default)]
+struct Parker {
+    /// Wake token: set by an unparker (or shutdown), consumed by the
+    /// owner. Guarded by the mutex so a wake between "decide to park"
+    /// and "wait" is never missed.
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+pub(crate) struct WorkStealScheduler<T> {
+    /// Global high-priority queue, checked before any normal source.
+    high: Injector<T>,
+    /// Global entry point for externally submitted normal tasks.
+    injector: Injector<T>,
+    /// Steal handles onto every worker's deque, indexed by worker id.
+    stealers: Box<[Stealer<T>]>,
+    parkers: Box<[Parker]>,
+    /// Stack of currently-registered sleepers (worker ids).
+    sleepers: Mutex<Vec<usize>>,
+    /// Mirror of `sleepers.len()`, readable without the lock.
+    n_sleepers: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl<T: Send> WorkStealScheduler<T> {
+    /// Build the shared scheduler plus one deque per worker; the deques
+    /// are handed to the caller to move into the worker threads.
+    pub(crate) fn new(n_workers: usize) -> (Self, Vec<Worker<T>>) {
+        let locals: Vec<Worker<T>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let sched = WorkStealScheduler {
+            high: Injector::new(),
+            injector: Injector::new(),
+            stealers: locals.iter().map(Worker::stealer).collect(),
+            parkers: (0..n_workers).map(|_| Parker::default()).collect(),
+            sleepers: Mutex::new(Vec::with_capacity(n_workers)),
+            n_sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        };
+        (sched, locals)
+    }
+
+    /// Push from outside any worker (spawns, wait-on probes).
+    pub(crate) fn push_external(&self, item: T, prio: Priority, metrics: &SchedMetrics) {
+        if prio.is_high() {
+            self.high.push(item);
+        } else {
+            self.injector.push(item);
+        }
+        self.maybe_unpark(metrics);
+    }
+
+    /// Push a wake from worker `h`: normal wakes stay on the worker's own
+    /// deque (work-first), high-priority wakes go global so any worker
+    /// picks them up next.
+    pub(crate) fn push_local(
+        &self,
+        h: &WorkerHandle<T>,
+        item: T,
+        prio: Priority,
+        metrics: &SchedMetrics,
+    ) {
+        if prio.is_high() {
+            self.high.push(item);
+        } else {
+            let local = h.local.as_ref().expect("work-stealing handle has a deque");
+            local.push(item);
+            SchedMetrics::bump(&metrics.local_pushes);
+        }
+        self.maybe_unpark(metrics);
+    }
+
+    /// Blocking pop. Returns `None` only after shutdown with no work
+    /// found in a full sweep.
+    pub(crate) fn next(&self, h: &WorkerHandle<T>, metrics: &SchedMetrics) -> Option<T> {
+        loop {
+            // Two sweeps with a yield between them: on a saturated host
+            // this gives the producers a chance to publish before we pay
+            // for the parking handshake.
+            for round in 0..2 {
+                if let Some(item) = self.try_find(h, metrics) {
+                    return Some(item);
+                }
+                if round == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Phase 1: register as a sleeper.
+            {
+                let mut s = self.sleepers.lock();
+                s.push(h.id);
+                self.n_sleepers.store(s.len(), Ordering::SeqCst);
+            }
+            // Phase 2: re-check. Work published before our registration
+            // is necessarily visible here; work published after it will
+            // find us in the sleeper stack and unpark us.
+            if let Some(item) = self.try_find(h, metrics) {
+                self.cancel_park(h.id);
+                return Some(item);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.cancel_park(h.id);
+                return None;
+            }
+            SchedMetrics::bump(&metrics.parks);
+            {
+                let parker = &self.parkers[h.id];
+                let mut flag = parker.flag.lock();
+                while !*flag {
+                    parker.cv.wait(&mut flag);
+                }
+                *flag = false;
+            }
+            // A wake token can be stale (an unparker that lost the
+            // `cancel_park` race on an earlier cycle), in which case our
+            // registration is still in the sleeper stack. Remove it so
+            // duplicate entries never accumulate and future unparks are
+            // not misdirected at a busy worker; a genuine wake already
+            // popped us and this is a no-op.
+            self.deregister(h.id);
+        }
+    }
+
+    /// One full sweep over every source, in policy order.
+    fn try_find(&self, h: &WorkerHandle<T>, metrics: &SchedMetrics) -> Option<T> {
+        if let Steal::Success(item) = self.high.steal() {
+            SchedMetrics::bump(&metrics.high_pops);
+            return Some(item);
+        }
+        if let Some(local) = h.local.as_ref() {
+            if let Some(item) = local.pop() {
+                SchedMetrics::bump(&metrics.local_pops);
+                return Some(item);
+            }
+        }
+        if let Steal::Success(item) = self.injector.steal() {
+            SchedMetrics::bump(&metrics.injector_pops);
+            return Some(item);
+        }
+        // Steal, starting past our own id so victims spread out. Retry a
+        // bounded number of passes on CAS races, then give up (the outer
+        // loop re-sweeps before parking).
+        let n = self.stealers.len();
+        for _pass in 0..2 {
+            let mut contended = false;
+            for k in 1..n {
+                let victim = (h.id + k) % n;
+                match self.stealers[victim].steal() {
+                    Steal::Success(item) => {
+                        SchedMetrics::bump(&metrics.steals);
+                        return Some(item);
+                    }
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                break;
+            }
+        }
+        None
+    }
+
+    /// Wake one sleeper if any are registered. Cheap when everyone is
+    /// busy: a single relaxed-path atomic load.
+    fn maybe_unpark(&self, metrics: &SchedMetrics) {
+        if self.n_sleepers.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let id = {
+            let mut s = self.sleepers.lock();
+            let id = s.pop();
+            self.n_sleepers.store(s.len(), Ordering::SeqCst);
+            id
+        };
+        if let Some(id) = id {
+            SchedMetrics::bump(&metrics.unparks);
+            self.wake(id);
+        }
+    }
+
+    /// Remove `id` from the sleeper stack if present. Returns whether it
+    /// was registered.
+    fn deregister(&self, id: usize) -> bool {
+        let mut s = self.sleepers.lock();
+        match s.iter().position(|&w| w == id) {
+            Some(at) => {
+                s.remove(at);
+                self.n_sleepers.store(s.len(), Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Undo a sleeper registration after the re-check found work. If an
+    /// unparker already popped us, absorb the pending wake token so the
+    /// next park does not wake spuriously. The absorption races the
+    /// unparker's flag store — a token it sets *after* this clear
+    /// survives as a stale wake, which the parked path resolves by
+    /// deregistering on wake-up.
+    fn cancel_park(&self, id: usize) {
+        if !self.deregister(id) {
+            *self.parkers[id].flag.lock() = false;
+        }
+    }
+
+    fn wake(&self, id: usize) {
+        let parker = &self.parkers[id];
+        let mut flag = parker.flag.lock();
+        *flag = true;
+        parker.cv.notify_one();
+    }
+
+    /// Stop every worker: raise the flag, then wake all parking spots
+    /// (sleepers and not-yet-parked workers alike).
+    pub(crate) fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.sleepers.lock().clear();
+        self.n_sleepers.store(0, Ordering::SeqCst);
+        for id in 0..self.parkers.len() {
+            self.wake(id);
+        }
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`sharded_stress`] — shard-aware address streams with tunable shard
 //!   skew and hot-key ratio, driving the sharded resolver's balanced best
 //!   case and its pathological single-hot-shard case,
+//! * [`steal_stress`] — the imbalanced fan-out (one root releasing many
+//!   serial chains at once) that makes work stealing mandatory for
+//!   speedup, driving the `nexuspp-sched` scheduler comparison,
 //! * [`random`] — seeded random task streams for tests and fuzzing,
 //! * [`analysis`] — task-graph analytics (parallelism profile, critical
 //!   path) used to regenerate Figure 4's ramp-effect illustration.
@@ -29,6 +32,7 @@ pub mod gaussian;
 pub mod grid;
 pub mod random;
 pub mod sharded_stress;
+pub mod steal_stress;
 pub mod stress;
 pub mod timing;
 pub mod video;
@@ -36,5 +40,6 @@ pub mod video;
 pub use gaussian::{GaussianSource, GaussianSpec};
 pub use grid::{GridPattern, GridSpec};
 pub use sharded_stress::ShardedStressSpec;
+pub use steal_stress::StealStressSpec;
 pub use timing::H264Timing;
 pub use video::VideoSpec;

@@ -16,8 +16,12 @@
 //!   submission front-end and a per-shard-locked concurrent dispatcher,
 //! * [`taskmachine`] — the full-system "Task Machine" simulator, plus the
 //!   multi-Maestro sharded variant,
+//! * [`sched`] — the ready-task scheduling layer: per-worker
+//!   work-stealing deques with a lock-free injector (default) and the
+//!   global mutex-queue baseline, behind one `SchedulerKind` knob,
 //! * [`runtime`] — a real threaded StarSs-like runtime built on the same
-//!   resolution semantics (single-engine and sharded),
+//!   resolution semantics (single-engine and sharded), scheduling
+//!   through [`sched`],
 //! * [`baseline`] — the original-Nexus limits model and a software-RTS
 //!   timing model.
 //!
@@ -82,6 +86,7 @@ pub use nexuspp_core as core;
 pub use nexuspp_desim as desim;
 pub use nexuspp_hw as hw;
 pub use nexuspp_runtime as runtime;
+pub use nexuspp_sched as sched;
 pub use nexuspp_shard as shard;
 pub use nexuspp_taskmachine as taskmachine;
 pub use nexuspp_trace as trace;

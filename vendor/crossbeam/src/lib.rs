@@ -1,69 +1,178 @@
 //! Offline stand-in for the `crossbeam` crate (this workspace builds
 //! without network access — see `vendor/README.md`).
 //!
-//! Only the surface the workspace uses is provided: [`channel`] with
-//! multi-producer **multi-consumer** `unbounded`/`bounded` channels
-//! (`std::sync::mpsc` receivers are not cloneable, so this is a small
-//! Mutex+Condvar queue instead of a wrapper), and [`queue`] with the
-//! non-blocking [`queue::SegQueue`] used by the sharded dispatcher's
-//! deferred-finish rings.
+//! Only the surface the workspace uses is provided:
+//!
+//! * [`channel`] — multi-producer **multi-consumer** `unbounded`/`bounded`
+//!   channels (`std::sync::mpsc` receivers are not cloneable, so this is a
+//!   small Mutex+Condvar queue instead of a wrapper),
+//! * [`queue`] — the non-blocking [`queue::SegQueue`], a Michael–Scott
+//!   style linked queue with genuinely lock-free producers (one atomic
+//!   swap per push), used by the sharded dispatcher's deferred-finish
+//!   rings and the work-stealing scheduler's injectors,
+//! * [`deque`] — Chase–Lev work-stealing deques with the
+//!   `crossbeam-deque` API shape ([`deque::Worker`], [`deque::Stealer`],
+//!   [`deque::Injector`], [`deque::Steal`]), backing the
+//!   `nexuspp-sched` ready-task scheduler.
 
 pub mod queue {
     //! Concurrent queues with the `crossbeam-queue` API shape.
     //!
-    //! The real `SegQueue` is a lock-free segmented queue; this stand-in
-    //! is a `Mutex<VecDeque>` with the same non-blocking API. Push/pop
-    //! never wait for capacity or elements (there is no condvar), so
-    //! callers written against the real crate behave identically — only
-    //! the scalability of the queue itself differs, which is acceptable
-    //! for the in-tree uses (short per-shard rings drained under the
-    //! shard lock anyway).
+    //! [`SegQueue`] is a Michael–Scott style linked FIFO queue tuned for
+    //! the in-tree usage pattern (many producers, consumers that are
+    //! either exclusive by construction or rare):
+    //!
+    //! * `push` is **lock-free**: one `AtomicPtr::swap` on the tail plus
+    //!   one release store to link the node — producers never block each
+    //!   other and never take a lock. This is the property the sharded
+    //!   dispatcher's deferred-finish rings rely on to post release
+    //!   records without touching the shard lock.
+    //! * `pop` uses Vyukov-style single-consumer traversal guarded by an
+    //!   internal spinlock so the *API* stays safely MPMC. Consumers that
+    //!   are already exclusive (the shard drain runs under the shard
+    //!   lock) never contend on it; concurrent consumers serialize over a
+    //!   critical section of a few instructions.
+    //! * `len`/`is_empty` read a counter that is incremented *before* a
+    //!   node is published, so a completed `push` is never invisible —
+    //!   the conservative direction the dispatcher's drain-skip check
+    //!   needs.
 
-    use std::collections::VecDeque;
-    use std::sync::Mutex;
+    use std::cell::UnsafeCell;
+    use std::ptr;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
 
-    /// An unbounded MPMC queue with non-blocking `push`/`pop`.
-    #[derive(Debug, Default)]
-    pub struct SegQueue<T> {
-        inner: Mutex<VecDeque<T>>,
+    struct Node<T> {
+        next: AtomicPtr<Node<T>>,
+        /// `None` only on the stub node at the head of the chain.
+        val: Option<T>,
     }
+
+    /// An unbounded MPMC FIFO queue with non-blocking `push`/`pop`.
+    pub struct SegQueue<T> {
+        /// Consumer cursor (the current stub node). Only dereferenced by
+        /// the holder of `pop_lock` (or `&mut self`).
+        head: UnsafeCell<*mut Node<T>>,
+        /// Producer side: the most recently published node.
+        tail: AtomicPtr<Node<T>>,
+        /// Serializes consumers; producers never touch it.
+        pop_lock: AtomicBool,
+        /// Incremented before publication, decremented after consumption:
+        /// an upper bound that never under-counts completed pushes.
+        len: AtomicUsize,
+    }
+
+    // The raw pointers are owned by the queue; elements only require `Send`
+    // (same bounds as the real crate).
+    unsafe impl<T: Send> Send for SegQueue<T> {}
+    unsafe impl<T: Send> Sync for SegQueue<T> {}
 
     impl<T> SegQueue<T> {
         /// An empty queue.
         pub fn new() -> Self {
+            let stub = Box::into_raw(Box::new(Node {
+                next: AtomicPtr::new(ptr::null_mut()),
+                val: None,
+            }));
             SegQueue {
-                inner: Mutex::new(VecDeque::new()),
+                head: UnsafeCell::new(stub),
+                tail: AtomicPtr::new(stub),
+                pop_lock: AtomicBool::new(false),
+                len: AtomicUsize::new(0),
             }
         }
 
-        /// Enqueue an element. Never blocks.
+        /// Enqueue an element. Never blocks and never takes a lock: one
+        /// counter increment, one tail swap, one link store.
         pub fn push(&self, value: T) {
-            self.inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push_back(value);
+            let node = Box::into_raw(Box::new(Node {
+                next: AtomicPtr::new(ptr::null_mut()),
+                val: Some(value),
+            }));
+            // Count before publishing so `is_empty` can never miss a
+            // completed push.
+            self.len.fetch_add(1, Ordering::SeqCst);
+            let prev = self.tail.swap(node, Ordering::SeqCst);
+            // `prev` cannot be freed before this store: consumers stop at
+            // a node whose `next` is null, so they can never advance past
+            // (and thus never free) `prev` until it is linked.
+            unsafe { (*prev).next.store(node, Ordering::SeqCst) };
         }
 
-        /// Dequeue the oldest element, `None` if the queue is empty.
+        /// Dequeue the oldest element, `None` if the queue is empty at the
+        /// time of the check (a concurrent half-published push counts as
+        /// not yet present, as in the real crate's linearization).
         pub fn pop(&self) -> Option<T> {
-            self.inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_front()
+            if self.len.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            let mut spins = 0u32;
+            while self.pop_lock.swap(true, Ordering::Acquire) {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            // SAFETY: `pop_lock` grants exclusive consumer access to
+            // `head` and to the stub node it points at.
+            let result = unsafe {
+                let head = *self.head.get();
+                let next = (*head).next.load(Ordering::SeqCst);
+                if next.is_null() {
+                    None
+                } else {
+                    let v = (*next).val.take();
+                    debug_assert!(v.is_some(), "non-stub node must carry a value");
+                    *self.head.get() = next;
+                    drop(Box::from_raw(head));
+                    self.len.fetch_sub(1, Ordering::SeqCst);
+                    v
+                }
+            };
+            self.pop_lock.store(false, Ordering::Release);
+            result
         }
 
         /// True if the queue held no elements at the time of the check
-        /// (racy by nature, as in the real crate).
+        /// (racy by nature, as in the real crate) — but never true while
+        /// a completed `push` remains unconsumed.
         pub fn is_empty(&self) -> bool {
-            self.inner
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .is_empty()
+            self.len.load(Ordering::SeqCst) == 0
         }
 
         /// Number of queued elements at the time of the check.
         pub fn len(&self) -> usize {
-            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.len.load(Ordering::SeqCst)
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> std::fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("SegQueue")
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    impl<T> Drop for SegQueue<T> {
+        fn drop(&mut self) {
+            // Exclusive access: walk the chain freeing every node (the
+            // stub's `val` is `None`; live elements drop with their node).
+            unsafe {
+                let mut p = *self.head.get();
+                while !p.is_null() {
+                    let next = (*p).next.load(Ordering::Relaxed);
+                    drop(Box::from_raw(p));
+                    p = next;
+                }
+            }
         }
     }
 
@@ -104,6 +213,527 @@ pub mod queue {
                 n += 1;
             }
             assert_eq!(n, 400);
+        }
+
+        #[test]
+        fn concurrent_producers_and_consumers_conserve_elements() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            let popped = std::sync::Arc::new(AtomicUsize::new(0));
+            const PRODUCERS: usize = 3;
+            const CONSUMERS: usize = 3;
+            const PER_PRODUCER: usize = 2000;
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|t| {
+                    let q = std::sync::Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            q.push(t * PER_PRODUCER + i);
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..CONSUMERS)
+                .map(|_| {
+                    let q = std::sync::Arc::clone(&q);
+                    let popped = std::sync::Arc::clone(&popped);
+                    std::thread::spawn(move || {
+                        while popped.load(Ordering::SeqCst) < PRODUCERS * PER_PRODUCER {
+                            if q.pop().is_some() {
+                                popped.fetch_add(1, Ordering::SeqCst);
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                h.join().unwrap();
+            }
+            for h in consumers {
+                h.join().unwrap();
+            }
+            assert_eq!(popped.load(Ordering::SeqCst), PRODUCERS * PER_PRODUCER);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn drops_unconsumed_elements() {
+            // Leak check by proxy: Arc strong counts drop back to 1.
+            let tracker = std::sync::Arc::new(());
+            {
+                let q = SegQueue::new();
+                for _ in 0..10 {
+                    q.push(std::sync::Arc::clone(&tracker));
+                }
+                assert_eq!(std::sync::Arc::strong_count(&tracker), 11);
+                let _ = q.pop();
+            }
+            assert_eq!(std::sync::Arc::strong_count(&tracker), 1);
+        }
+    }
+}
+
+pub mod deque {
+    //! Chase–Lev work-stealing deques with the `crossbeam-deque` API
+    //! shape.
+    //!
+    //! [`Worker`] is the single-owner end: LIFO `push`/`pop` touch only
+    //! the bottom index — the owner's hot path is a handful of atomic
+    //! operations and **never takes a lock**. [`Stealer`] handles
+    //! (cloneable, shareable) take from the top (FIFO order) and race
+    //! each other — and the owner's last-element pop — through a CAS on
+    //! `top`, per Chase & Lev, *Dynamic Circular Work-Stealing Deque*
+    //! (SPAA'05), with the memory orderings of Lê et al., *Correct and
+    //! Efficient Work-Stealing for Weak Memory Models* (PPoPP'13).
+    //!
+    //! [`Injector`] is the shared FIFO entry point (a lock-free-push
+    //! [`SegQueue`](crate::queue::SegQueue) behind the `Steal` API).
+    //!
+    //! Implementation notes for this stand-in:
+    //!
+    //! * The ring buffer grows geometrically and old buffers are
+    //!   *retired*, not freed, until the deque itself drops — stealers
+    //!   may still be reading a superseded buffer, and retirement makes
+    //!   that read always-safe without epoch reclamation (the real crate
+    //!   uses `crossbeam-epoch`). Peak retired memory is bounded by 2× the
+    //!   largest buffer.
+    //! * A steal reads the slot *before* validating ownership with the
+    //!   CAS on `top`; a failed CAS forgets the read value without
+    //!   dropping it. Values are only returned (and dropped) by the one
+    //!   winner of index `t`.
+
+    use std::cell::UnsafeCell;
+    use std::marker::PhantomData;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    const MIN_CAP: usize = 64;
+
+    struct Buffer<T> {
+        /// Power of two.
+        cap: usize,
+        slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    }
+
+    impl<T> Buffer<T> {
+        fn alloc(cap: usize) -> *mut Buffer<T> {
+            debug_assert!(cap.is_power_of_two());
+            let slots = (0..cap)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            Box::into_raw(Box::new(Buffer { cap, slots }))
+        }
+
+        unsafe fn write(&self, index: isize, value: T) {
+            let slot = self.slots[index as usize & (self.cap - 1)].get();
+            (*slot).write(value);
+        }
+
+        /// Bitwise read of the slot for `index`. May race with an owner
+        /// overwrite when the caller has lost index ownership — callers
+        /// must validate with the CAS on `top` before using (or dropping)
+        /// the value, and `mem::forget` it on failure.
+        unsafe fn read(&self, index: isize) -> T {
+            let slot = self.slots[index as usize & (self.cap - 1)].get();
+            (*slot).assume_init_read()
+        }
+    }
+
+    struct Inner<T> {
+        top: AtomicIsize,
+        bottom: AtomicIsize,
+        buf: AtomicPtr<Buffer<T>>,
+        /// Superseded buffers, kept alive until the deque drops.
+        retired: Mutex<Vec<*mut Buffer<T>>>,
+    }
+
+    unsafe impl<T: Send> Send for Inner<T> {}
+    unsafe impl<T: Send> Sync for Inner<T> {}
+
+    impl<T> Drop for Inner<T> {
+        fn drop(&mut self) {
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let buf = *self.buf.get_mut();
+            unsafe {
+                for i in t..b {
+                    drop((*buf).read(i));
+                }
+                drop(Box::from_raw(buf));
+            }
+            for p in self
+                .retired
+                .get_mut()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+            {
+                // Retired buffers hold only bitwise copies (`MaybeUninit`
+                // slots): freeing the allocation drops no element twice.
+                unsafe { drop(Box::from_raw(p)) };
+            }
+        }
+    }
+
+    /// Result of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was observed empty.
+        Empty,
+        /// Lost a race; retrying may succeed.
+        Retry,
+        /// Took this element.
+        Success(T),
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen element, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// True if the source was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The single-owner end of a deque: LIFO push/pop, lock-free.
+    pub struct Worker<T> {
+        inner: Arc<Inner<T>>,
+        /// Single-owner handle: `Send`, deliberately `!Sync`.
+        _not_sync: PhantomData<UnsafeCell<()>>,
+    }
+
+    impl<T: Send> Worker<T> {
+        /// A new empty deque (owner pops newest-first; stealers take
+        /// oldest-first).
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Inner {
+                    top: AtomicIsize::new(0),
+                    bottom: AtomicIsize::new(0),
+                    buf: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+                    retired: Mutex::new(Vec::new()),
+                }),
+                _not_sync: PhantomData,
+            }
+        }
+
+        /// A stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Push onto the bottom (owner end).
+        pub fn push(&self, value: T) {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed);
+            let t = inner.top.load(Ordering::Acquire);
+            let mut buf = inner.buf.load(Ordering::Relaxed);
+            if b - t >= unsafe { (*buf).cap } as isize {
+                buf = self.grow(t, b);
+            }
+            unsafe { (*buf).write(b, value) };
+            // SeqCst publication so a parking consumer's sequenced
+            // re-check (registration, then queue sweep) cannot miss it.
+            inner.bottom.store(b + 1, Ordering::SeqCst);
+        }
+
+        /// Pop from the bottom (owner end, LIFO).
+        pub fn pop(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed) - 1;
+            let buf = inner.buf.load(Ordering::Relaxed);
+            inner.bottom.store(b, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let t = inner.top.load(Ordering::SeqCst);
+            if t <= b {
+                if t == b {
+                    // Last element: race stealers for index b via `top`.
+                    let won = inner
+                        .top
+                        .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok();
+                    inner.bottom.store(b + 1, Ordering::SeqCst);
+                    if won {
+                        Some(unsafe { (*buf).read(b) })
+                    } else {
+                        None
+                    }
+                } else {
+                    // Interior element: stealers cannot reach index b.
+                    Some(unsafe { (*buf).read(b) })
+                }
+            } else {
+                inner.bottom.store(b + 1, Ordering::SeqCst);
+                None
+            }
+        }
+
+        /// True if the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Observed number of elements.
+        pub fn len(&self) -> usize {
+            let t = self.inner.top.load(Ordering::SeqCst);
+            let b = self.inner.bottom.load(Ordering::SeqCst);
+            (b - t).max(0) as usize
+        }
+
+        /// Double the buffer, copying the live range `[t, b)`. The old
+        /// buffer is retired (stealers may still be reading it).
+        fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
+            let inner = &*self.inner;
+            let old = inner.buf.load(Ordering::Relaxed);
+            let new = Buffer::alloc(unsafe { (*old).cap } * 2);
+            unsafe {
+                for i in t..b {
+                    // Bitwise relocation: the old slot keeps a stale copy
+                    // that is never dropped (MaybeUninit).
+                    (*new).write(i, (*old).read(i));
+                }
+            }
+            inner.buf.store(new, Ordering::Release);
+            inner
+                .retired
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(old);
+            new
+        }
+    }
+
+    /// A shareable handle that takes from the top (FIFO end) of a
+    /// [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T: Send> Stealer<T> {
+        /// Attempt to steal the oldest element.
+        pub fn steal(&self) -> Steal<T> {
+            let inner = &*self.inner;
+            let t = inner.top.load(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            let b = inner.bottom.load(Ordering::SeqCst);
+            if t < b {
+                // Load the buffer only after `bottom`: seeing b > t
+                // guarantees (release/acquire through `bottom`) that this
+                // load observes a buffer holding index t.
+                let buf = inner.buf.load(Ordering::Acquire);
+                let v = unsafe { (*buf).read(t) };
+                if inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    Steal::Success(v)
+                } else {
+                    // Lost index t to another thief or the owner: the
+                    // bitwise copy is not ours to drop.
+                    std::mem::forget(v);
+                    Steal::Retry
+                }
+            } else {
+                Steal::Empty
+            }
+        }
+
+        /// True if the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Observed number of elements.
+        pub fn len(&self) -> usize {
+            let t = self.inner.top.load(Ordering::SeqCst);
+            let b = self.inner.bottom.load(Ordering::SeqCst);
+            (b - t).max(0) as usize
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A shared FIFO injection queue with lock-free producers (see
+    /// [`SegQueue`](crate::queue::SegQueue)), exposed through the
+    /// [`Steal`] API like the real crate's `Injector`.
+    pub struct Injector<T> {
+        q: crate::queue::SegQueue<T>,
+    }
+
+    impl<T: Send> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                q: crate::queue::SegQueue::new(),
+            }
+        }
+
+        /// Enqueue an element (lock-free; never blocks).
+        pub fn push(&self, value: T) {
+            self.q.push(value);
+        }
+
+        /// Attempt to take the oldest element.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.pop() {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True if the injector was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.is_empty()
+        }
+
+        /// Observed number of queued elements.
+        pub fn len(&self) -> usize {
+            self.q.len()
+        }
+    }
+
+    impl<T: Send> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::AtomicU64;
+
+        #[test]
+        fn owner_lifo_stealer_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.len(), 3);
+            assert_eq!(s.steal(), Steal::Success(1), "stealer takes oldest");
+            assert_eq!(w.pop(), Some(3), "owner takes newest");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(s.steal().is_empty());
+        }
+
+        #[test]
+        fn growth_preserves_elements() {
+            let w = Worker::new_lifo();
+            for i in 0..10_000u64 {
+                w.push(i);
+            }
+            let mut got = Vec::new();
+            while let Some(v) = w.pop() {
+                got.push(v);
+            }
+            got.reverse();
+            assert_eq!(got, (0..10_000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn concurrent_stealers_take_each_element_once() {
+            const N: u64 = 50_000;
+            const THIEVES: usize = 3;
+            let w = Worker::new_lifo();
+            let sum = Arc::new(AtomicU64::new(0));
+            let taken = Arc::new(AtomicU64::new(0));
+            let thieves: Vec<_> = (0..THIEVES)
+                .map(|_| {
+                    let s = w.stealer();
+                    let sum = Arc::clone(&sum);
+                    let taken = Arc::clone(&taken);
+                    std::thread::spawn(move || loop {
+                        match s.steal() {
+                            Steal::Success(v) => {
+                                sum.fetch_add(v, Ordering::Relaxed);
+                                taken.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if taken.load(Ordering::SeqCst) >= N {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Owner interleaves pushes with occasional pops.
+            let mut owner_sum = 0u64;
+            for i in 1..=N {
+                w.push(i);
+                if i % 64 == 0 {
+                    if let Some(v) = w.pop() {
+                        owner_sum += v;
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain the remainder from the owner side.
+            while let Some(v) = w.pop() {
+                owner_sum += v;
+                taken.fetch_add(1, Ordering::Relaxed);
+            }
+            for h in thieves {
+                h.join().unwrap();
+            }
+            assert_eq!(taken.load(Ordering::SeqCst), N, "every element taken once");
+            assert_eq!(
+                sum.load(Ordering::SeqCst) + owner_sum,
+                N * (N + 1) / 2,
+                "sum conserved: no loss, no duplication"
+            );
+        }
+
+        #[test]
+        fn no_leaks_across_grow_and_steal() {
+            let tracker = Arc::new(());
+            {
+                let w = Worker::new_lifo();
+                let s = w.stealer();
+                for _ in 0..500 {
+                    w.push(Arc::clone(&tracker));
+                }
+                for _ in 0..100 {
+                    let _ = s.steal();
+                }
+                for _ in 0..100 {
+                    let _ = w.pop();
+                }
+                // 300 live elements drop with the deque.
+            }
+            assert_eq!(Arc::strong_count(&tracker), 1);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert!(inj.steal().is_empty());
         }
     }
 }
