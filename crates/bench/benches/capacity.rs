@@ -1,0 +1,116 @@
+//! Bounded-capacity resolution throughput, sweeping the per-shard
+//! residency bound C ∈ {1, 4, 16, ∞} over the capacity-stress stream.
+//!
+//! * `software/*` — single-threaded stall/retry churn through the
+//!   bounded [`ShardedEngine`]: every rejected admission retires one
+//!   ready task and retries, so the measured cost includes the full
+//!   park/resume bookkeeping the finite tables force.
+//! * `modeled/*` — the bounded multi-Maestro cycle model: simulator
+//!   wall time per capacity. The deterministic accounting claims
+//!   (capacity 1 stalls, ∞ never, stalls == retries) are asserted up
+//!   front, so a broken counter fails the bench run before measuring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nexuspp_core::{NexusConfig, ShardCapacity};
+use nexuspp_shard::ShardedEngine;
+use nexuspp_taskmachine::{simulate_sharded, MultiMaestroConfig};
+use nexuspp_trace::Trace;
+use nexuspp_workloads::CapacityStressSpec;
+
+const SHARDS: usize = 4;
+const CAPS: [ShardCapacity; 4] = [
+    ShardCapacity::Bounded(1),
+    ShardCapacity::Bounded(4),
+    ShardCapacity::Bounded(16),
+    ShardCapacity::Unbounded,
+];
+
+fn stress() -> Trace {
+    CapacityStressSpec {
+        chain_len: 48,
+        ..CapacityStressSpec::pressure(SHARDS as u32)
+    }
+    .generate()
+}
+
+/// Drain the trace through a bounded engine with caller-side stall/retry.
+fn churn(trace: &Trace, cap: ShardCapacity) {
+    let mut e = ShardedEngine::with_capacity(SHARDS, &NexusConfig::unbounded(), cap);
+    let mut ready = Vec::new();
+    for t in &trace.tasks {
+        let id = loop {
+            match e.try_admit(t.fptr, t.id, t.params.clone()) {
+                Ok((id, _)) => break id,
+                Err(_) => {
+                    let r = ready.pop().expect("stall with nothing ready");
+                    ready.extend(e.finish(r).newly_ready);
+                }
+            }
+        };
+        if let nexuspp_shard::ShardedCheck::Done { ready: r, .. } = e.check(id) {
+            if r {
+                ready.push(id);
+            }
+        }
+    }
+    while let Some(id) = ready.pop() {
+        ready.extend(e.finish(id).newly_ready);
+    }
+    assert_eq!(e.in_flight(), 0);
+}
+
+fn bench_software(c: &mut Criterion) {
+    let trace = stress();
+    let mut g = c.benchmark_group("capacity/software");
+    g.sample_size(15);
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    for cap in CAPS {
+        g.bench_function(&format!("churn_c{cap}"), |b| {
+            b.iter_batched(|| (), |()| churn(&trace, cap), BatchSize::SmallInput)
+        });
+    }
+    g.finish();
+}
+
+fn bench_modeled(c: &mut Criterion) {
+    let trace = stress();
+    let cfg = |cap: ShardCapacity| MultiMaestroConfig {
+        workers: 16,
+        ..MultiMaestroConfig::with_capacity(SHARDS, cap).no_prep()
+    };
+    // Deterministic accounting gates before any measurement.
+    for cap in CAPS {
+        let r = simulate_sharded(cfg(cap), &trace);
+        assert_eq!(r.tasks, trace.len() as u64);
+        assert_eq!(
+            r.shard_stalls, r.shard_retries_resolved,
+            "C={cap}: unresolved stall episodes"
+        );
+        match cap {
+            ShardCapacity::Bounded(1) => assert!(
+                r.master_capacity_stalls > 0,
+                "capacity 1 must stall the master on this stream"
+            ),
+            ShardCapacity::Unbounded => assert_eq!(r.master_capacity_stalls, 0),
+            _ => {}
+        }
+        println!(
+            "modeled: C={cap:>2}  {:.2} Mtasks/s  {} master stalls",
+            r.tasks_per_sec() / 1e6,
+            r.master_capacity_stalls
+        );
+    }
+
+    let mut g = c.benchmark_group("capacity/modeled");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(trace.len() as u64));
+    for cap in CAPS {
+        g.bench_function(&format!("sim_c{cap}"), |b| {
+            b.iter(|| simulate_sharded(cfg(cap), &trace))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_software, bench_modeled);
+criterion_main!(benches);

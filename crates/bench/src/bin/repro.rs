@@ -17,6 +17,7 @@
 //!   video      multi-frame H.264 pipelining          (extension)
 //!   shards     multi-Maestro shard scaling           (extension)
 //!   steal      ready-queue vs work-stealing sched    (extension)
+//!   capacity   bounded shard tables, stall/retry     (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -31,7 +32,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|all> \
          [--full] [--quick] [--csv DIR]"
     );
     std::process::exit(2);
@@ -82,6 +83,7 @@ fn main() {
         "video" => run(vec![experiments::video(&opts)], &opts),
         "shards" => run(vec![experiments::shards(&opts)], &opts),
         "steal" => run(vec![experiments::steal(&opts)], &opts),
+        "capacity" => run(vec![experiments::capacity(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

@@ -1074,6 +1074,136 @@ pub fn steal(opts: &ExpOptions) -> Experiment {
     }
 }
 
+// ---------------------------------------------------------------------
+// Bounded shard capacity (finite-table extension)
+// ---------------------------------------------------------------------
+
+/// Capacity study: the bounded multi-Maestro fabric and the bounded
+/// threaded runtime over the capacity-stress stream, sweeping the
+/// per-shard residency bound C ∈ {1, 4, 16, ∞}. Not a paper figure —
+/// this closes the "sharded capacity stalls in multi-Maestro mode"
+/// fidelity gap: finite shard tables stall the master across the
+/// crossbar exactly like the single-Maestro machine's Task-Pool stall,
+/// and the stall/retry counters must balance at quiescence.
+pub fn capacity(opts: &ExpOptions) -> Experiment {
+    use nexuspp_core::ShardCapacity;
+    use nexuspp_runtime::ShardedRuntime;
+    use nexuspp_taskmachine::{simulate_sharded, MultiMaestroConfig};
+    use nexuspp_workloads::CapacityStressSpec;
+
+    let shards = 4usize;
+    let spec = CapacityStressSpec {
+        chain_len: if opts.quick { 24 } else { 96 },
+        ..CapacityStressSpec::pressure(shards as u32)
+    };
+    let stress = spec.generate();
+    let gauss = GaussianSpec::new(if opts.quick { 32 } else { 80 }).trace();
+    let caps = [
+        ShardCapacity::Bounded(1),
+        ShardCapacity::Bounded(4),
+        ShardCapacity::Bounded(16),
+        ShardCapacity::Unbounded,
+    ];
+
+    let mut notes = Vec::new();
+    let mut modeled = TextTable::new(vec![
+        "workload",
+        "capacity",
+        "makespan µs",
+        "Mtasks/s",
+        "master stalls",
+        "retries resolved",
+        "peak queue",
+    ]);
+    for (name, trace) in [("capacity-stress", &stress), ("gaussian", &gauss)] {
+        for cap in caps {
+            let r = simulate_sharded(
+                MultiMaestroConfig {
+                    workers: 16,
+                    ..MultiMaestroConfig::with_capacity(shards, cap).no_prep()
+                },
+                trace,
+            );
+            let resolved: u64 = r.shard_retries_resolved.iter().sum();
+            modeled.row(vec![
+                name.to_string(),
+                cap.to_string(),
+                f1(r.makespan.as_us_f64()),
+                f2(r.tasks_per_sec() / 1e6),
+                r.master_capacity_stalls.to_string(),
+                resolved.to_string(),
+                r.peak_shard_queue.to_string(),
+            ]);
+            if r.shard_stalls != r.shard_retries_resolved {
+                notes.push(format!(
+                    "REGRESSION: {name} at C={cap}: unresolved stall episodes \
+                     ({:?} vs {:?})",
+                    r.shard_stalls, r.shard_retries_resolved
+                ));
+            }
+            if !cap.is_bounded() && r.master_capacity_stalls != 0 {
+                notes.push(format!(
+                    "REGRESSION: {name}: unbounded tables reported {} stalls",
+                    r.master_capacity_stalls
+                ));
+            }
+            if cap == ShardCapacity::Bounded(1) && r.master_capacity_stalls == 0 {
+                notes.push(format!(
+                    "REGRESSION: {name}: capacity 1 never stalled the master"
+                ));
+            }
+        }
+    }
+
+    // The threaded runtime under the same bound: real parked submitter
+    // threads, real finish-report wakeups, counter balance at quiescence.
+    let mut threaded = TextTable::new(vec![
+        "capacity",
+        "wall ms",
+        "submitter stalls",
+        "retries resolved",
+    ]);
+    let (rt_chains, rt_chain_len) = (8u32, if opts.quick { 25u32 } else { 100 });
+    for cap in caps {
+        let rt = ShardedRuntime::with_capacity(4, shards, cap);
+        let wall = nexuspp_runtime::stress::drive_capacity_stress(&rt, rt_chains, rt_chain_len);
+        let ms = wall.as_secs_f64() * 1e3;
+        let counts = rt.capacity_counts();
+        let stalls: u64 = counts.iter().map(|c| c.stalls_observed).sum();
+        let resolved: u64 = counts.iter().map(|c| c.retries_resolved).sum();
+        threaded.row(vec![
+            cap.to_string(),
+            f2(ms),
+            stalls.to_string(),
+            resolved.to_string(),
+        ]);
+        if stalls != resolved {
+            notes.push(format!(
+                "REGRESSION: runtime at C={cap}: {stalls} stalls vs {resolved} resolved"
+            ));
+        }
+    }
+
+    notes.push(
+        "the master parks on the first full shard and resumes when a finish phase \
+         completes at the shards (cycle-accounted); episodes are counted once against \
+         the first rejecting shard, so stalls == retries at quiescence is the \
+         no-lost-wakeup invariant"
+            .to_string(),
+    );
+    Experiment {
+        id: "capacity",
+        title: format!(
+            "Bounded shard tables: stall/retry under capacity pressure ({shards} shards)"
+        ),
+        tables: vec![
+            ("modeled multi-Maestro fabric".into(), modeled),
+            ("threaded ShardedRuntime (4 workers)".into(), threaded),
+        ],
+        notes,
+    }
+}
+
 /// Run every experiment.
 pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
     vec![
@@ -1090,6 +1220,7 @@ pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
         video(opts),
         shards(opts),
         steal(opts),
+        capacity(opts),
     ]
 }
 
@@ -1150,6 +1281,19 @@ mod tests {
         // nexuspp-sched perf test (full sizes, best-of-3, own process);
         // re-asserting it here on quick debug-mode sizes would only add
         // a second, noisier flake surface for the same property.
+    }
+
+    #[test]
+    fn capacity_sweep_balances_stalls_and_stresses_tight_bounds() {
+        let e = capacity(&quick());
+        assert!(
+            !e.notes.iter().any(|n| n.contains("REGRESSION")),
+            "capacity accounting broke: {:?}",
+            e.notes
+        );
+        // Modeled rows: 2 workloads × 4 capacities; threaded rows: 4.
+        assert_eq!(e.tables[0].1.len(), 8);
+        assert_eq!(e.tables[1].1.len(), 4);
     }
 
     #[test]

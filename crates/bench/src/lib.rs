@@ -19,6 +19,7 @@
 //! | design ablations | [`experiments::ablate`] | `repro ablate` |
 //! | shard scaling (extension) | [`experiments::shards`] | `repro shards` |
 //! | ready scheduling (extension) | [`experiments::steal`] | `repro steal` |
+//! | bounded shard capacity (extension) | [`experiments::capacity`] | `repro capacity` |
 
 pub mod experiments;
 pub mod steal_driver;

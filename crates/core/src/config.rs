@@ -37,6 +37,74 @@ impl Default for NexusConfig {
     }
 }
 
+/// Per-shard residency bound for the sharded resolvers.
+///
+/// One Maestro shard owns a *finite* Task Pool slice: when it is full,
+/// the master "stalls and stops sending new Task Descriptors" until a
+/// completion frees a row (§III-C — already modeled for the single
+/// Maestro). `ShardCapacity` carries that bound through the sharded
+/// stack: a shard holds at most this many resident sub-descriptors
+/// (tasks that touch the shard and have not finished); a submission that
+/// would exceed it on *any* involved shard is rejected whole — admission
+/// stays atomic across shards, so a stalled submitter holds no partial
+/// state and simply retries after that shard's next finish report.
+///
+/// Because a task occupies exactly one residency slot per involved shard
+/// and submissions arrive in program order (producers before consumers),
+/// the protocol is deadlock-free down to `Bounded(1)`: the earliest
+/// unfinished task is either resident (and therefore runnable once its
+/// already-finished producers released it) or is the parked one, in
+/// which case nothing is resident and every shard has a free slot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShardCapacity {
+    /// Growable software tables: submissions never stall (the threaded
+    /// runtime's historical behavior).
+    #[default]
+    Unbounded,
+    /// At most this many resident tasks per shard; a submission that
+    /// would exceed it stalls and retries after the shard's next finish.
+    Bounded(usize),
+}
+
+impl ShardCapacity {
+    /// The residency limit, if bounded.
+    pub fn limit(self) -> Option<usize> {
+        match self {
+            ShardCapacity::Unbounded => None,
+            ShardCapacity::Bounded(n) => Some(n),
+        }
+    }
+
+    /// True when submissions can stall on a full shard.
+    pub fn is_bounded(self) -> bool {
+        matches!(self, ShardCapacity::Bounded(_))
+    }
+
+    /// True if a shard with `resident` live tasks can accept one more.
+    pub fn admits(self, resident: usize) -> bool {
+        match self {
+            ShardCapacity::Unbounded => true,
+            ShardCapacity::Bounded(n) => resident < n,
+        }
+    }
+
+    /// Validate invariants (a zero-slot shard could never admit anything).
+    pub fn validate(self) {
+        if let ShardCapacity::Bounded(n) = self {
+            assert!(n >= 1, "bounded shards need >= 1 residency slot");
+        }
+    }
+}
+
+impl std::fmt::Display for ShardCapacity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardCapacity::Unbounded => write!(f, "∞"),
+            ShardCapacity::Bounded(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 impl NexusConfig {
     /// Configuration for the threaded runtime: modest initial sizes that
     /// grow on demand; dummy-task/entry virtualization disabled.
@@ -86,6 +154,27 @@ mod tests {
         let c = NexusConfig::unbounded();
         assert!(c.growable);
         c.validate();
+    }
+
+    #[test]
+    fn shard_capacity_admission_predicate() {
+        assert!(ShardCapacity::Unbounded.admits(usize::MAX - 1));
+        assert!(!ShardCapacity::Unbounded.is_bounded());
+        assert_eq!(ShardCapacity::Unbounded.limit(), None);
+        let c = ShardCapacity::Bounded(2);
+        assert!(c.is_bounded());
+        assert_eq!(c.limit(), Some(2));
+        assert!(c.admits(0) && c.admits(1) && !c.admits(2));
+        c.validate();
+        assert_eq!(format!("{}", ShardCapacity::Unbounded), "∞");
+        assert_eq!(format!("{}", c), "2");
+        assert_eq!(ShardCapacity::default(), ShardCapacity::Unbounded);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        ShardCapacity::Bounded(0).validate();
     }
 
     #[test]

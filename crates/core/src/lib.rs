@@ -37,7 +37,7 @@ pub mod pool;
 pub mod priority;
 pub mod table;
 
-pub use config::NexusConfig;
+pub use config::{NexusConfig, ShardCapacity};
 pub use cost::OpCost;
 pub use engine::{AdmitError, CheckProgress, DependencyEngine, FinishResult};
 pub use pool::{PoolError, TaskPool, TdIndex};

@@ -48,8 +48,11 @@
 pub mod region;
 pub mod runtime;
 pub mod sharded;
+pub mod stress;
 
+pub use nexuspp_core::ShardCapacity;
 pub use nexuspp_sched::{SchedCounts, SchedulerKind};
+pub use nexuspp_shard::CapacityCounts;
 pub use region::{Region, RegionId};
 pub use runtime::{Runtime, TaskBuilder, TaskCtx};
 pub use sharded::{ShardedRuntime, ShardedTaskBuilder};

@@ -26,9 +26,9 @@
 
 use crate::region::{Region, RegionId};
 use crate::runtime::{Grants, Job, TaskCtx};
-use nexuspp_core::{NexusConfig, Priority};
+use nexuspp_core::{NexusConfig, Priority, ShardCapacity};
 use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
-use nexuspp_shard::{ShardDispatcher, TaskTicket};
+use nexuspp_shard::{CapacityCounts, ShardDispatcher, TaskTicket};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use parking_lot::{Condvar, Mutex};
@@ -93,7 +93,9 @@ impl<'rt> ShardedTaskBuilder<'rt> {
         self
     }
 
-    /// Submit the task. It runs as soon as its dependencies allow.
+    /// Submit the task. It runs as soon as its dependencies allow. Under
+    /// a bounded [`ShardCapacity`] this blocks while any involved shard
+    /// is full, resuming on that shard's next finish report.
     pub fn spawn(self, f: impl FnOnce(&TaskCtx) + Send + 'static) {
         let params: Vec<Param> = self
             .accesses
@@ -138,10 +140,30 @@ impl ShardedRuntime {
 
     /// Start a runtime with an explicit ready-task scheduler kind.
     pub fn with_scheduler(n: usize, shards: usize, kind: SchedulerKind) -> Self {
+        ShardedRuntime::with_options(n, shards, kind, ShardCapacity::Unbounded)
+    }
+
+    /// Start a bounded runtime (default scheduler): each shard holds at
+    /// most `capacity` resident tasks. A `spawn` whose shards are full
+    /// **blocks the submitting thread** until the workers' finish reports
+    /// free a slot — the software form of the paper's master-core stall —
+    /// so spawn tasks in dependency order (producers first), which the
+    /// builder API yields naturally from a single submitting thread.
+    pub fn with_capacity(n: usize, shards: usize, capacity: ShardCapacity) -> Self {
+        ShardedRuntime::with_options(n, shards, SchedulerKind::default(), capacity)
+    }
+
+    /// Start a runtime with every knob explicit.
+    pub fn with_options(
+        n: usize,
+        shards: usize,
+        kind: SchedulerKind,
+        capacity: ShardCapacity,
+    ) -> Self {
         assert!(n >= 1, "need at least one worker");
         let (sched, handles) = Scheduler::new(kind, n);
         let inner = Arc::new(Inner {
-            dispatcher: ShardDispatcher::new(shards, &NexusConfig::unbounded()),
+            dispatcher: ShardDispatcher::with_capacity(shards, &NexusConfig::unbounded(), capacity),
             sched,
             submitted: AtomicU64::new(0),
             pending: Mutex::new(0),
@@ -164,6 +186,17 @@ impl ShardedRuntime {
     /// Number of shards resolution is partitioned over.
     pub fn n_shards(&self) -> usize {
         self.inner.dispatcher.n_shards()
+    }
+
+    /// The per-shard residency bound this runtime submits under.
+    pub fn capacity(&self) -> ShardCapacity {
+        self.inner.dispatcher.capacity()
+    }
+
+    /// Per-shard stall/retry counters (exact once quiescent — call after
+    /// [`barrier`](Self::barrier)).
+    pub fn capacity_counts(&self) -> Vec<CapacityCounts> {
+        self.inner.dispatcher.capacity_counts()
     }
 
     /// Which ready-task scheduler this runtime drives.

@@ -32,10 +32,10 @@
 
 use crate::engine::route_params;
 use crossbeam::queue::SegQueue;
-use nexuspp_core::{DependencyEngine, NexusConfig, TdIndex};
+use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, TdIndex};
 use nexuspp_trace::Param;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, Ordering};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// The home record of a task in flight.
@@ -102,10 +102,32 @@ impl<P> Default for FinishReport<P> {
 /// One release record: a sub-descriptor to finish, plus its home record.
 type FinRecord<P> = (Arc<Node<P>>, TdIndex);
 
+/// One shard's bounded-capacity counters at a quiescent point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CapacityCounts {
+    /// Submissions that parked with this shard as the first full shard
+    /// of their stall episode.
+    pub stalls_observed: u64,
+    /// Parked submissions whose retry eventually succeeded (attributed
+    /// to the episode's first full shard). Equals `stalls_observed` once
+    /// no submitter is parked.
+    pub retries_resolved: u64,
+    /// Tasks currently holding a residency slot on this shard.
+    pub resident: usize,
+}
+
 struct ShardCell<P> {
     /// Deferred-finish submission ring.
     ring: SegQueue<FinRecord<P>>,
     state: Mutex<ShardState<P>>,
+    /// Tasks holding a residency slot here (reserved before admission,
+    /// released as each finish record is drained).
+    resident: AtomicU32,
+    /// Pairs with `unpark`: submitters blocked on a full shard wait here.
+    park: Mutex<()>,
+    unpark: Condvar,
+    stalls: AtomicU64,
+    retries_resolved: AtomicU64,
 }
 
 struct ShardState<P> {
@@ -119,20 +141,39 @@ struct ShardState<P> {
 /// (a closure + access grants in the runtime; `()` in benches).
 pub struct ShardDispatcher<P> {
     shards: Box<[ShardCell<P>]>,
+    capacity: ShardCapacity,
 }
 
 impl<P> ShardDispatcher<P> {
     /// Build a dispatcher over `n_shards` engines configured by `cfg`.
     /// The configuration must be growable: the submit path holds no
-    /// global lock, so a capacity stall could not be resolved by waiting
-    /// (the software structures virtualize capacity instead, as in the
-    /// single-engine runtime).
+    /// global lock, so a mid-admission table stall could not be resolved
+    /// by waiting (the software structures virtualize table capacity; the
+    /// *residency* bound is [`with_capacity`](Self::with_capacity)).
     pub fn new(n_shards: usize, cfg: &NexusConfig) -> Self {
+        ShardDispatcher::with_capacity(n_shards, cfg, ShardCapacity::Unbounded)
+    }
+
+    /// Build a bounded dispatcher: each shard admits at most `capacity`
+    /// resident tasks. A submission that would overflow any involved
+    /// shard reserves nothing, parks on the first full shard, and retries
+    /// when that shard's next finish record is drained — so submitters
+    /// stall exactly like the paper's master core does on a full Task
+    /// Pool, and resume on the shard's finish report.
+    ///
+    /// Deadlock contract: a task's producers must be submitted before it
+    /// (StarSs program order) and completions must be driven from other
+    /// threads (the runtime's workers); then the protocol is deadlock-free
+    /// down to capacity 1, because a parked submitter holds no slots and
+    /// every resident task can eventually run.
+    pub fn with_capacity(n_shards: usize, cfg: &NexusConfig, capacity: ShardCapacity) -> Self {
         assert!(n_shards >= 1, "need at least one shard");
         assert!(
             cfg.growable,
-            "the dispatcher's lock-per-shard submit path cannot stall; use a growable config"
+            "the dispatcher's lock-per-shard submit path cannot stall mid-admission; \
+             use a growable config (bound residency via ShardCapacity)"
         );
+        capacity.validate();
         ShardDispatcher {
             shards: (0..n_shards)
                 .map(|_| ShardCell {
@@ -141,8 +182,14 @@ impl<P> ShardDispatcher<P> {
                         engine: DependencyEngine::new(cfg),
                         owner: Vec::new(),
                     }),
+                    resident: AtomicU32::new(0),
+                    park: Mutex::new(()),
+                    unpark: Condvar::new(),
+                    stalls: AtomicU64::new(0),
+                    retries_resolved: AtomicU64::new(0),
                 })
                 .collect(),
+            capacity,
         }
     }
 
@@ -151,13 +198,104 @@ impl<P> ShardDispatcher<P> {
         self.shards.len()
     }
 
+    /// The per-shard residency bound this dispatcher enforces.
+    pub fn capacity(&self) -> ShardCapacity {
+        self.capacity
+    }
+
+    /// Per-shard stall/retry counters (exact at quiescence; counters use
+    /// relaxed atomics, so concurrent readers see a racy snapshot).
+    pub fn capacity_counts(&self) -> Vec<CapacityCounts> {
+        self.shards
+            .iter()
+            .map(|c| CapacityCounts {
+                stalls_observed: c.stalls.load(Ordering::Relaxed),
+                retries_resolved: c.retries_resolved.load(Ordering::Relaxed),
+                resident: c.resident.load(Ordering::Relaxed) as usize,
+            })
+            .collect()
+    }
+
+    /// Release `n` residency slots on `s` and wake parked submitters.
+    /// The ordering here is the lost-wakeup guard: decrement first, then
+    /// notify under the park mutex, so a submitter that observed "full"
+    /// under that mutex is already inside `wait` when the notify lands.
+    fn release_slots(&self, s: usize, n: u32) {
+        let cell = &self.shards[s];
+        cell.resident.fetch_sub(n, Ordering::AcqRel);
+        let _guard = cell.park.lock();
+        cell.unpark.notify_all();
+    }
+
+    /// Try to reserve one residency slot on every involved shard; on the
+    /// first full shard, roll back (waking anyone the rollback frees a
+    /// slot for) and report it.
+    fn try_reserve(&self, groups: &[(u32, Vec<Param>)]) -> Result<(), u32> {
+        for (i, (s, _)) in groups.iter().enumerate() {
+            let cell = &self.shards[*s as usize];
+            let reserved = cell
+                .resident
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |r| {
+                    self.capacity.admits(r as usize).then_some(r + 1)
+                })
+                .is_ok();
+            if !reserved {
+                for (t, _) in &groups[..i] {
+                    self.release_slots(*t as usize, 1);
+                }
+                return Err(*s);
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until shard `s` has a free residency slot (the slot may be
+    /// taken again before the caller's retry; callers loop).
+    fn park_on(&self, s: u32) {
+        let cell = &self.shards[s as usize];
+        let mut guard = cell.park.lock();
+        while !self
+            .capacity
+            .admits(cell.resident.load(Ordering::Acquire) as usize)
+        {
+            cell.unpark.wait(&mut guard);
+        }
+    }
+
     /// Submit a task. Takes each involved shard's lock once, one at a
     /// time in first-touch parameter order — never two locks at once, so
     /// no lock-ordering discipline is needed — and never blocks on other
-    /// tasks' progress. If the task has no unresolved dependencies the
-    /// payload comes straight back in [`SubmitResult::ready`].
+    /// tasks' *dependency* progress. Under a bounded capacity it blocks
+    /// until every involved shard grants a residency slot (stall/retry,
+    /// counted per shard); unbounded dispatchers never block at all. If
+    /// the task has no unresolved dependencies the payload comes straight
+    /// back in [`SubmitResult::ready`].
     pub fn submit(&self, fptr: u64, tag: u64, params: &[Param], payload: P) -> SubmitResult<P> {
         let groups = route_params(params, self.shards.len());
+        if self.capacity.is_bounded() {
+            // One stall episode per submit call: counted once against the
+            // first full shard, resolved once when the reservation lands.
+            let mut episode: Option<u32> = None;
+            loop {
+                match self.try_reserve(&groups) {
+                    Ok(()) => break,
+                    Err(full) => {
+                        if episode.is_none() {
+                            episode = Some(full);
+                            self.shards[full as usize]
+                                .stalls
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.park_on(full);
+                    }
+                }
+            }
+            if let Some(first) = episode {
+                self.shards[first as usize]
+                    .retries_resolved
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         let node = Arc::new(Node {
             tag,
             pending: AtomicU32::new(groups.len() as u32 + 1),
@@ -227,7 +365,9 @@ impl<P> ShardDispatcher<P> {
     }
 
     /// Drain one shard's ring under its lock. Skips entirely when a
-    /// concurrent holder already consumed every queued record.
+    /// concurrent holder already consumed every queued record. Each
+    /// drained record releases one residency slot — the shard's "finish
+    /// report" a parked submitter resumes on.
     fn drain_shard(&self, s: usize, report: &mut FinishReport<P>) {
         let cell = &self.shards[s];
         if cell.ring.is_empty() {
@@ -235,10 +375,12 @@ impl<P> ShardDispatcher<P> {
             // their wakes/completions); nothing left to do here.
             return;
         }
+        let mut drained = 0u32;
         let mut st = cell.state.lock();
         while let Some((node, td)) = cell.ring.pop() {
             let fin = st.engine.finish(td);
             st.owner[td.0 as usize] = None;
+            drained += 1;
             for woken in fin.newly_ready {
                 let wnode = st.owner[woken.0 as usize]
                     .as_ref()
@@ -256,6 +398,10 @@ impl<P> ShardDispatcher<P> {
             if node.parts_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                 report.completed += 1;
             }
+        }
+        drop(st);
+        if drained > 0 && self.capacity.is_bounded() {
+            self.release_slots(s, drained);
         }
     }
 
@@ -359,6 +505,103 @@ mod tests {
                 THREADS * PER_THREAD,
                 "shards={shards}: every task completed exactly once"
             );
+            assert_eq!(d.sub_descriptors_in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn unbounded_dispatcher_reports_zero_stalls() {
+        let d = dispatcher(4);
+        for i in 0..32u64 {
+            let r = d.submit(1, i, &[Param::output(0x9000 + i * 64, 4)], i);
+            d.finish(r.ticket);
+        }
+        for (s, c) in d.capacity_counts().iter().enumerate() {
+            assert_eq!(*c, CapacityCounts::default(), "shard {s}");
+        }
+    }
+
+    #[test]
+    fn parked_submitter_resumes_on_finish_and_counts_one_episode() {
+        // One shard, capacity 2: two residents fill it; a third submission
+        // parks on another thread and resumes when a resident finishes.
+        let d = Arc::new(ShardDispatcher::<u64>::with_capacity(
+            1,
+            &NexusConfig::unbounded(),
+            ShardCapacity::Bounded(2),
+        ));
+        let r0 = d.submit(1, 0, &[Param::output(0x100, 4)], 0);
+        let r1 = d.submit(1, 1, &[Param::output(0x200, 4)], 1);
+        assert_eq!(d.capacity_counts()[0].resident, 2);
+        let parked = {
+            let d = Arc::clone(&d);
+            std::thread::spawn(move || {
+                let r = d.submit(1, 2, &[Param::output(0x300, 4)], 2);
+                let p = r.ready.expect("independent task");
+                (r.ticket, p)
+            })
+        };
+        // Deterministic rendezvous: the stall is observed before we free
+        // the slot the parked submitter needs.
+        while d.capacity_counts()[0].stalls_observed == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(d.capacity_counts()[0].retries_resolved, 0);
+        let rep = d.finish(r0.ticket);
+        assert_eq!(rep.completed, 1);
+        let (t2, p2) = parked.join().unwrap();
+        assert_eq!(p2, 2);
+        d.finish(r1.ticket);
+        d.finish(t2);
+        let c = &d.capacity_counts()[0];
+        assert_eq!(
+            (c.stalls_observed, c.retries_resolved, c.resident),
+            (1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn capacity_one_concurrent_churn_is_deadlock_free_and_balanced() {
+        // Four threads hammer a capacity-1 dispatcher with independent
+        // tasks: every slot conflict parks a submitter that some other
+        // thread's finish must resume. At quiescence every stall episode
+        // is resolved and every task completed exactly once.
+        for shards in [1usize, 4] {
+            let d = Arc::new(ShardDispatcher::<u64>::with_capacity(
+                shards,
+                &NexusConfig::unbounded(),
+                ShardCapacity::Bounded(1),
+            ));
+            let total = Arc::new(AtomicU64::new(0));
+            const THREADS: u64 = 4;
+            const PER_THREAD: u64 = 300;
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let d = Arc::clone(&d);
+                    let total = Arc::clone(&total);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let tag = t * PER_THREAD + i;
+                            let addr = 0x50_0000 + tag * 64;
+                            let r = d.submit(1, tag, &[Param::output(addr, 4)], tag);
+                            let p = r.ready.expect("independent task must be ready");
+                            assert_eq!(p, tag);
+                            total.fetch_add(d.finish(r.ticket).completed, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(total.load(Ordering::Relaxed), THREADS * PER_THREAD);
+            for (s, c) in d.capacity_counts().iter().enumerate() {
+                assert_eq!(
+                    c.stalls_observed, c.retries_resolved,
+                    "shards={shards} shard {s}: unresolved stall episodes"
+                );
+                assert_eq!(c.resident, 0, "shards={shards} shard {s} leaked slots");
+            }
             assert_eq!(d.sub_descriptors_in_flight(), 0);
         }
     }

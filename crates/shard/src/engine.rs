@@ -36,13 +36,25 @@
 
 use nexuspp_core::engine::CheckProgress;
 use nexuspp_core::pool::PoolError;
-use nexuspp_core::{shard_of_addr, DependencyEngine, NexusConfig, OpCost, TdIndex};
+use nexuspp_core::{shard_of_addr, DependencyEngine, NexusConfig, OpCost, ShardCapacity, TdIndex};
 use nexuspp_trace::Param;
 use std::fmt;
 
 /// Why a task could not be admitted (same retry semantics as the single
 /// engine: `PoolFull` clears after completions, `TaskTooLarge` never).
 pub type AdmitError = PoolError;
+
+/// An admission rejection attributed to the shard that caused it, so a
+/// stalling front-end (the multi-Maestro master, the batched submitter)
+/// knows which shard's next finish report to park on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRejection {
+    /// The first shard (in the task's first-touch order) that could not
+    /// hold its slice.
+    pub shard: u32,
+    /// The underlying pool/capacity error (`PoolFull` is retryable).
+    pub error: PoolError,
+}
 
 /// A task's identity in the sharded engine: its home-record slot index.
 /// Slots are reused after `finish`, like Task Pool indices.
@@ -106,6 +118,23 @@ pub enum ShardedCheck {
         /// Work performed this attempt, by shard.
         cost: OpBreakdown,
     },
+}
+
+/// Outcome of a bounded batched submission
+/// ([`ShardedEngine::submit_batch_bounded`]): the admitted prefix plus
+/// the parked remainder awaiting a finish on the full shard.
+#[derive(Debug, Clone)]
+pub struct BoundedBatch {
+    /// Admitted and checked members, in batch order.
+    pub submitted: Vec<(TaskId, bool)>,
+    /// The shard that was full for the first parked member (`None` when
+    /// the whole batch was admitted).
+    pub stalled: Option<u32>,
+    /// Members not admitted (no shard touched); re-offer them after the
+    /// stalled shard's next finish report.
+    pub parked: Vec<(u64, u64, Vec<Param>)>,
+    /// Work performed for the admitted prefix, by shard.
+    pub cost: OpBreakdown,
 }
 
 /// Result of finishing a task through the sharded engine.
@@ -173,6 +202,10 @@ enum TaskSlot {
 pub struct ShardedEngine {
     shards: Vec<DependencyEngine>,
     growable: bool,
+    capacity: ShardCapacity,
+    /// Live tasks holding a residency slot on each shard (one slot per
+    /// involved shard per task, regardless of slice width).
+    resident: Vec<usize>,
     tasks: Vec<TaskSlot>,
     free: Vec<u32>,
     /// Per shard: sub-descriptor index → owning task (reverse map for the
@@ -186,10 +219,21 @@ impl ShardedEngine {
     /// (capacities are per shard, mirroring hardware where each shard is
     /// its own SRAM bank set).
     pub fn new(n_shards: usize, cfg: &NexusConfig) -> Self {
+        ShardedEngine::with_capacity(n_shards, cfg, ShardCapacity::Unbounded)
+    }
+
+    /// Build a bounded engine: on top of `cfg`'s table capacities, each
+    /// shard holds at most `capacity` resident tasks; a submission that
+    /// would exceed that on any involved shard is rejected whole
+    /// (atomically) with the full shard identified, for stall/retry.
+    pub fn with_capacity(n_shards: usize, cfg: &NexusConfig, capacity: ShardCapacity) -> Self {
         assert!(n_shards >= 1, "need at least one shard");
+        capacity.validate();
         ShardedEngine {
             shards: (0..n_shards).map(|_| DependencyEngine::new(cfg)).collect(),
             growable: cfg.growable,
+            capacity,
+            resident: vec![0; n_shards],
             tasks: Vec::new(),
             free: Vec::new(),
             owner: vec![Vec::new(); n_shards],
@@ -210,6 +254,16 @@ impl ShardedEngine {
     /// Tasks admitted but not yet finished.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// The per-shard residency bound this engine enforces.
+    pub fn capacity(&self) -> ShardCapacity {
+        self.capacity
+    }
+
+    /// Live tasks currently holding a residency slot on shard `s`.
+    pub fn resident_on(&self, s: usize) -> usize {
+        self.resident[s]
     }
 
     /// Which shard owns `addr` under this engine's partition.
@@ -261,25 +315,39 @@ impl ShardedEngine {
         map[i] = Some(id);
     }
 
-    /// Pre-check that every involved shard can hold its slice, so the
-    /// multi-shard admission below never partially commits.
-    fn capacity_check(&self, groups: &[(u32, Vec<Param>)]) -> Result<(), AdmitError> {
-        if self.growable {
-            return Ok(());
-        }
+    /// Pre-check that every involved shard can hold its slice — table
+    /// space under a fixed `cfg`, and a residency slot under a bounded
+    /// [`ShardCapacity`] — so the multi-shard admission below never
+    /// partially commits. The rejection names the first failing shard.
+    fn capacity_check(&self, groups: &[(u32, Vec<Param>)]) -> Result<(), ShardRejection> {
         for (s, sub) in groups {
+            if !self.capacity.admits(self.resident[*s as usize]) {
+                return Err(ShardRejection {
+                    shard: *s,
+                    error: PoolError::PoolFull { needed: 1, free: 0 },
+                });
+            }
+            if self.growable {
+                continue;
+            }
             let pool = self.shards[*s as usize].pool();
             let needed = pool.tds_needed(sub.len());
             if needed > pool.capacity() {
-                return Err(PoolError::TaskTooLarge {
-                    needed,
-                    capacity: pool.capacity(),
+                return Err(ShardRejection {
+                    shard: *s,
+                    error: PoolError::TaskTooLarge {
+                        needed,
+                        capacity: pool.capacity(),
+                    },
                 });
             }
             if needed > pool.free_count() {
-                return Err(PoolError::PoolFull {
-                    needed,
-                    free: pool.free_count(),
+                return Err(ShardRejection {
+                    shard: *s,
+                    error: PoolError::PoolFull {
+                        needed,
+                        free: pool.free_count(),
+                    },
                 });
             }
         }
@@ -295,6 +363,17 @@ impl ShardedEngine {
         tag: u64,
         params: Vec<Param>,
     ) -> Result<(TaskId, OpBreakdown), AdmitError> {
+        self.try_admit(fptr, tag, params).map_err(|r| r.error)
+    }
+
+    /// [`admit`](Self::admit) with the rejecting shard identified, for
+    /// front-ends that park on a specific shard's finish stream.
+    pub fn try_admit(
+        &mut self,
+        fptr: u64,
+        tag: u64,
+        params: Vec<Param>,
+    ) -> Result<(TaskId, OpBreakdown), ShardRejection> {
         let groups = self.partition(&params);
         self.capacity_check(&groups)?;
         let id = self.alloc_slot();
@@ -305,6 +384,7 @@ impl ShardedEngine {
                 .admit(fptr, tag, sub)
                 .expect("capacity pre-checked");
             self.set_owner(s, td, id);
+            self.resident[s as usize] += 1;
             parts.push(Part { shard: s, td });
             cost.add(s, c);
         }
@@ -382,6 +462,7 @@ impl ShardedEngine {
             let fin = self.shards[part.shard as usize].finish(part.td);
             out.cost.add(part.shard, fin.cost);
             self.owner[part.shard as usize][part.td.0 as usize] = None;
+            self.resident[part.shard as usize] -= 1;
             for woken in fin.newly_ready {
                 let wid = self.owner[part.shard as usize][woken.0 as usize]
                     .expect("woken sub-descriptor must have an owner");
@@ -439,6 +520,60 @@ impl ShardedEngine {
             self.growable,
             "submit_batch requires a growable configuration"
         );
+        assert!(
+            !self.capacity.is_bounded(),
+            "bounded engines must use submit_batch_bounded (a batched stall must park)"
+        );
+        self.batch_ingest(batch)
+    }
+
+    /// Bounded batched submission: admit and check members in batch order
+    /// until one would overflow an involved shard, then stop — the
+    /// accepted prefix is ingested with the same one-visit-per-shard-per-
+    /// stage amortization as [`submit_batch`](Self::submit_batch), and the
+    /// remainder comes back in [`BoundedBatch::parked`] for the caller to
+    /// re-offer after the full shard's next finish report. Admission stays
+    /// atomic: the parked members have touched no shard at all.
+    pub fn submit_batch_bounded(&mut self, batch: Vec<(u64, u64, Vec<Param>)>) -> BoundedBatch {
+        assert!(
+            self.growable,
+            "submit_batch_bounded requires growable tables (capacity bounds residency)"
+        );
+        // Walk the batch against a shadow residency tally to find the
+        // longest admissible prefix.
+        let mut shadow = self.resident.clone();
+        let mut accepted = 0usize;
+        let mut stalled = None;
+        'members: for (_, _, params) in &batch {
+            let groups = self.partition(params);
+            for (s, _) in &groups {
+                if !self.capacity.admits(shadow[*s as usize]) {
+                    stalled = Some(*s);
+                    break 'members;
+                }
+            }
+            for (s, _) in &groups {
+                shadow[*s as usize] += 1;
+            }
+            accepted += 1;
+        }
+        let mut batch = batch;
+        let parked = batch.split_off(accepted);
+        let (submitted, cost) = self.batch_ingest(batch);
+        BoundedBatch {
+            submitted,
+            stalled,
+            parked,
+            cost,
+        }
+    }
+
+    /// The shared two-stage batched admission core (capacity already
+    /// cleared by the caller).
+    fn batch_ingest(
+        &mut self,
+        batch: Vec<(u64, u64, Vec<Param>)>,
+    ) -> (Vec<(TaskId, bool)>, OpBreakdown) {
         let n = self.shards.len();
         let mut cost = OpBreakdown::default();
         // Stage 0: route every member and create its home record.
@@ -454,6 +589,9 @@ impl ShardedEngine {
                 checked: false,
             });
             self.in_flight += 1;
+            for (s, _) in &groups {
+                self.resident[*s as usize] += 1;
+            }
             members.push((id, fptr, groups));
         }
         // Stage 1 (`Write TP`, batched): one visit per shard admits every
@@ -777,6 +915,122 @@ mod tests {
         }
         assert_eq!(serial.in_flight(), 0);
         assert_eq!(batched.in_flight(), 0);
+    }
+
+    /// Find an address homed on `target` under an `n`-shard partition.
+    fn addr_on(n: usize, target: usize, salt: u64) -> u64 {
+        let mut a = 0u64;
+        loop {
+            let addr = 0x7_0000 + salt * 0x10_0000 + a * 64;
+            a += 1;
+            if shard_of_addr(addr, n) == target {
+                return addr;
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_admit_stalls_on_the_full_shard_and_retries() {
+        let mut e =
+            ShardedEngine::with_capacity(2, &NexusConfig::unbounded(), ShardCapacity::Bounded(1));
+        assert_eq!(e.capacity(), ShardCapacity::Bounded(1));
+        let (t0, r0) = e
+            .submit(1, 0, vec![Param::output(addr_on(2, 0, 0), 4)])
+            .unwrap();
+        assert!(r0);
+        assert_eq!(e.resident_on(0), 1);
+        // Shard 0 is full; a task spanning both shards must reject whole.
+        let params = vec![
+            Param::output(addr_on(2, 0, 1), 4),
+            Param::output(addr_on(2, 1, 1), 4),
+        ];
+        let rej = e.try_admit(1, 1, params.clone()).unwrap_err();
+        assert_eq!(rej.shard, 0);
+        assert!(matches!(rej.error, PoolError::PoolFull { .. }));
+        assert_eq!(e.resident_on(1), 0, "rejection must not touch shard 1");
+        // The retry succeeds once shard 0's resident finishes.
+        e.finish(t0);
+        assert_eq!(e.resident_on(0), 0);
+        let (t1, r1) = e.submit(1, 1, params).unwrap();
+        assert!(r1);
+        assert_eq!((e.resident_on(0), e.resident_on(1)), (1, 1));
+        e.finish(t1);
+        assert_eq!((e.resident_on(0), e.resident_on(1)), (0, 0));
+    }
+
+    #[test]
+    fn capacity_one_chain_drains_with_caller_retry() {
+        // A strict inout chain through one capacity-1 shard set: every
+        // admission after the first stalls until the previous task
+        // finishes, and the chain still executes exactly once, in order.
+        let mut e =
+            ShardedEngine::with_capacity(2, &NexusConfig::unbounded(), ShardCapacity::Bounded(1));
+        let cell = addr_on(2, 0, 2);
+        let mut done = Vec::new();
+        let mut live: Option<TaskId> = None;
+        for tag in 0..16u64 {
+            let id = loop {
+                match e.try_admit(1, tag, vec![Param::inout(cell, 4)]) {
+                    Ok((id, _)) => break id,
+                    Err(rej) => {
+                        assert_eq!(rej.shard, 0);
+                        let prev = live.take().expect("stall with nothing resident");
+                        done.push(e.finish(prev).tag);
+                    }
+                }
+            };
+            match e.check(id) {
+                ShardedCheck::Done { ready, .. } => {
+                    // With capacity 1 the predecessor always finished first.
+                    assert!(ready, "tag {tag}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            live = Some(id);
+        }
+        done.push(e.finish(live.unwrap()).tag);
+        assert_eq!(done, (0..16).collect::<Vec<u64>>());
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn bounded_batch_parks_remainder_and_resumes() {
+        let mut e =
+            ShardedEngine::with_capacity(2, &NexusConfig::unbounded(), ShardCapacity::Bounded(2));
+        // Four independent tasks on shard 0: only two fit.
+        let batch: Vec<_> = (0..4u64)
+            .map(|i| (1u64, i, vec![Param::output(addr_on(2, 0, 10 + i), 4)]))
+            .collect();
+        let out = e.submit_batch_bounded(batch);
+        assert_eq!(out.submitted.len(), 2);
+        assert_eq!(out.stalled, Some(0));
+        assert_eq!(out.parked.len(), 2);
+        assert_eq!(e.resident_on(0), 2);
+        // Finishing one resident frees a slot; the re-offer admits one
+        // more and parks the last again.
+        let first = out.submitted[0].0;
+        e.finish(first);
+        let out2 = e.submit_batch_bounded(out.parked);
+        assert_eq!(out2.submitted.len(), 1);
+        assert_eq!(out2.stalled, Some(0));
+        assert_eq!(out2.parked.len(), 1);
+        // Tags survive the parking round-trips in order.
+        assert_eq!(e.tag_of(out2.submitted[0].0), 2);
+        let (tail, _) = (e.finish(out.submitted[1].0), e.finish(out2.submitted[0].0));
+        assert!(tail.newly_ready.is_empty());
+        let out3 = e.submit_batch_bounded(out2.parked);
+        assert!(out3.stalled.is_none() && out3.parked.is_empty());
+        assert_eq!(e.tag_of(out3.submitted[0].0), 3);
+        e.finish(out3.submitted[0].0);
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "submit_batch_bounded")]
+    fn unbounded_batch_api_rejects_bounded_engines() {
+        let mut e =
+            ShardedEngine::with_capacity(2, &NexusConfig::unbounded(), ShardCapacity::Bounded(1));
+        e.submit_batch(vec![(1, 0, vec![Param::output(0x40, 4)])]);
     }
 
     #[test]

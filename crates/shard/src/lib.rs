@@ -44,5 +44,7 @@
 pub mod dispatch;
 pub mod engine;
 
-pub use dispatch::{FinishReport, ShardDispatcher, SubmitResult, TaskTicket};
-pub use engine::{OpBreakdown, ShardedCheck, ShardedEngine, ShardedFinish, TaskId};
+pub use dispatch::{CapacityCounts, FinishReport, ShardDispatcher, SubmitResult, TaskTicket};
+pub use engine::{
+    BoundedBatch, OpBreakdown, ShardRejection, ShardedCheck, ShardedEngine, ShardedFinish, TaskId,
+};

@@ -1,0 +1,398 @@
+//! Capacity-differential testing: a *bounded* sharded engine —
+//! `ShardedEngine::with_capacity(N, C)`, whose submissions stall and
+//! retry on full shards — must execute exactly the same task set, under
+//! exactly the same readiness constraints, as the unbounded sharded
+//! engine, the single [`DependencyEngine`], and the explicit-DAG oracle.
+//!
+//! Strategy: random task streams over small address sets (heavy
+//! RAW/WAW/WAR collision), submitted in program order to all four
+//! resolvers. The bounded engine is the pacing one: when an admission is
+//! rejected because a shard is at capacity, a commonly-ready task is
+//! finished in *all four* resolvers and the admission retried — the
+//! stall-then-resume interleaving the finite hardware tables force.
+//! Because the retry loop never leaves a task half-ingested (admission is
+//! atomic across shards), every task is eventually resident in all four,
+//! so at each stable point the four ready sets must agree exactly, and at
+//! the end every task must have finished exactly once with no leaked
+//! residency slots.
+//!
+//! Swept: shard count N ∈ {1, 2, 4} × capacity C ∈ {1, 2, 8, ∞}. At
+//! C = 1 almost every submission stalls (the deepest interleaving); at
+//! C = ∞ the bounded engine degenerates to the unbounded one and the
+//! harness doubles as a no-regression check.
+
+use nexuspp_core::oracle::OracleResolver;
+use nexuspp_core::pool::PoolError;
+use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, TdIndex};
+use nexuspp_desim::Rng;
+use nexuspp_shard::{ShardedCheck, ShardedEngine, TaskId};
+use nexuspp_trace::normalize::normalize_params;
+use nexuspp_trace::{AccessMode, Param};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone)]
+struct GenTask {
+    params: Vec<Param>,
+}
+
+fn mode_strategy() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![
+        Just(AccessMode::In),
+        Just(AccessMode::Out),
+        Just(AccessMode::InOut),
+    ]
+}
+
+fn task_strategy(addr_space: u64, max_params: usize) -> impl Strategy<Value = GenTask> {
+    prop::collection::vec((0..addr_space, mode_strategy()), 1..=max_params).prop_map(|ps| {
+        let params: Vec<Param> = ps
+            .into_iter()
+            .map(|(a, m)| Param::new(0x2000 + a * 64, 16, m))
+            .collect();
+        GenTask {
+            params: normalize_params(&params),
+        }
+    })
+}
+
+/// The four resolvers plus the bookkeeping to drive them in step.
+struct Quad {
+    bounded: ShardedEngine,
+    unbounded: ShardedEngine,
+    single: DependencyEngine,
+    oracle: OracleResolver,
+    bid_of_tag: HashMap<u64, TaskId>,
+    uid_of_tag: HashMap<u64, TaskId>,
+    td_of_tag: HashMap<u64, TdIndex>,
+    bounded_ready: BTreeSet<u64>,
+    unbounded_ready: BTreeSet<u64>,
+    single_ready: BTreeSet<u64>,
+    /// Exactly-once ledger: every tag finishes once, none twice.
+    finished: BTreeSet<u64>,
+}
+
+impl Quad {
+    fn new(cfg: &NexusConfig, n_shards: usize, capacity: ShardCapacity) -> Self {
+        Quad {
+            bounded: ShardedEngine::with_capacity(n_shards, cfg, capacity),
+            unbounded: ShardedEngine::new(n_shards, cfg),
+            single: DependencyEngine::new(cfg),
+            oracle: OracleResolver::new(),
+            bid_of_tag: HashMap::new(),
+            uid_of_tag: HashMap::new(),
+            td_of_tag: HashMap::new(),
+            bounded_ready: BTreeSet::new(),
+            unbounded_ready: BTreeSet::new(),
+            single_ready: BTreeSet::new(),
+            finished: BTreeSet::new(),
+        }
+    }
+
+    fn oracle_ready(&self) -> BTreeSet<u64> {
+        self.oracle
+            .ready_set()
+            .into_iter()
+            .map(|i| i as u64)
+            .collect()
+    }
+
+    /// Finish one commonly-ready task (seeded random pick) in all four
+    /// resolvers, recording it in the exactly-once ledger.
+    fn finish_one(&mut self, rng: &mut Rng) {
+        let oracle_ready = self.oracle_ready();
+        let candidates: Vec<u64> = self
+            .bounded_ready
+            .iter()
+            .copied()
+            .filter(|t| {
+                self.unbounded_ready.contains(t)
+                    && self.single_ready.contains(t)
+                    && oracle_ready.contains(t)
+            })
+            .collect();
+        assert!(
+            !candidates.is_empty(),
+            "no commonly-ready task: the bounded engine is deadlocked or diverged"
+        );
+        let pick = candidates[rng.gen_range(candidates.len() as u64) as usize];
+        self.bounded_ready.remove(&pick);
+        self.unbounded_ready.remove(&pick);
+        self.single_ready.remove(&pick);
+        assert!(
+            self.finished.insert(pick),
+            "task {pick} finished twice (exactly-once violated)"
+        );
+
+        let bid = self.bid_of_tag.remove(&pick).unwrap();
+        let fin = self.bounded.finish(bid);
+        assert_eq!(fin.tag, pick);
+        for t in fin.newly_ready {
+            self.bounded_ready.insert(self.bounded.tag_of(t));
+        }
+        let uid = self.uid_of_tag.remove(&pick).unwrap();
+        let fin = self.unbounded.finish(uid);
+        assert_eq!(fin.tag, pick);
+        for t in fin.newly_ready {
+            self.unbounded_ready.insert(self.unbounded.tag_of(t));
+        }
+        let td = self.td_of_tag.remove(&pick).unwrap();
+        let fin = self.single.finish(td);
+        assert_eq!(fin.tag, pick);
+        for t in fin.newly_ready {
+            self.single_ready.insert(self.single.tag_of(t));
+        }
+        self.oracle.finish(pick as usize);
+    }
+
+    /// Stable-point invariant: all four resolvers agree on the ready set.
+    fn assert_ready_sets_match(&self, context: &str) {
+        let oracle_ready = self.oracle_ready();
+        assert_eq!(
+            self.bounded_ready, oracle_ready,
+            "bounded ready set diverges {context}"
+        );
+        assert_eq!(
+            self.unbounded_ready, oracle_ready,
+            "unbounded ready set diverges {context}"
+        );
+        assert_eq!(
+            self.single_ready, oracle_ready,
+            "single-engine ready set diverges {context}"
+        );
+    }
+}
+
+/// Drive all four resolvers through the workload, resolving the bounded
+/// engine's capacity stalls by finishing commonly-ready tasks everywhere.
+fn run_capacity_differential(
+    tasks: &[GenTask],
+    n_shards: usize,
+    capacity: ShardCapacity,
+    seed: u64,
+) {
+    let cfg = NexusConfig::unbounded();
+    let mut quad = Quad::new(&cfg, n_shards, capacity);
+    let mut rng = Rng::new(seed);
+    let mut stall_resumes = 0u64;
+
+    for (tag, task) in tasks.iter().enumerate() {
+        let tag = tag as u64;
+        // The reference resolvers ingest unconditionally.
+        let (uid, u_ready) = quad
+            .unbounded
+            .submit(0xF, tag, task.params.clone())
+            .unwrap();
+        quad.uid_of_tag.insert(tag, uid);
+        if u_ready {
+            quad.unbounded_ready.insert(tag);
+        }
+        let (td, s_ready) = quad.single.submit(0xF, tag, task.params.clone()).unwrap();
+        quad.td_of_tag.insert(tag, td);
+        if s_ready {
+            quad.single_ready.insert(tag);
+        }
+        let (oid, _) = quad.oracle.submit(&task.params);
+        assert_eq!(oid as u64, tag);
+        // The bounded engine stalls and retries: every rejection is
+        // retryable, names a full shard, and resolves after completions.
+        let bid = loop {
+            match quad.bounded.try_admit(0xF, tag, task.params.clone()) {
+                Ok((id, _)) => break id,
+                Err(rej) => {
+                    assert!(
+                        matches!(rej.error, PoolError::PoolFull { .. }),
+                        "capacity rejections must be retryable: {rej:?}"
+                    );
+                    let limit = capacity.limit().expect("unbounded engines cannot stall");
+                    assert_eq!(
+                        quad.bounded.resident_on(rej.shard as usize),
+                        limit,
+                        "rejection from a shard that is not actually full"
+                    );
+                    stall_resumes += 1;
+                    quad.finish_one(&mut rng);
+                }
+            }
+        };
+        quad.bid_of_tag.insert(tag, bid);
+        match quad.bounded.check(bid) {
+            ShardedCheck::Done { ready, .. } => {
+                if ready {
+                    quad.bounded_ready.insert(tag);
+                }
+            }
+            other => panic!("growable tables cannot stall mid-check: {other:?}"),
+        }
+        // Stable point: every resolver has fully ingested the task.
+        quad.assert_ready_sets_match(&format!(
+            "after submitting task {tag} (N={n_shards}, C={capacity})"
+        ));
+    }
+
+    // Drain everything; each completion is a stable point.
+    while !quad.bounded_ready.is_empty() {
+        quad.finish_one(&mut rng);
+        quad.assert_ready_sets_match(&format!("during drain (N={n_shards}, C={capacity})"));
+    }
+
+    // Exactly-once, fully drained, no leaked residency.
+    assert_eq!(quad.finished.len() as u64, tasks.len() as u64);
+    assert!(quad.oracle.all_done(), "oracle has unfinished tasks");
+    assert_eq!(quad.bounded.in_flight(), 0);
+    assert_eq!(quad.unbounded.in_flight(), 0);
+    assert_eq!(quad.single.in_flight(), 0);
+    for s in 0..n_shards {
+        assert_eq!(
+            quad.bounded.resident_on(s),
+            0,
+            "shard {s} leaked residency slots"
+        );
+        assert_eq!(quad.bounded.shard(s).pool().in_use(), 0);
+        assert_eq!(quad.bounded.shard(s).table().occupied(), 0);
+    }
+    if capacity == ShardCapacity::Bounded(1) && tasks.len() > n_shards {
+        // The tight bound must actually exercise the stall path on any
+        // stream long enough to overlap itself.
+        let conflict_free = tasks.len() <= 1;
+        assert!(
+            stall_resumes > 0 || conflict_free,
+            "C=1 over {} tasks never stalled — the bound is not enforced",
+            tasks.len()
+        );
+    }
+}
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const CAPACITIES: [ShardCapacity; 4] = [
+    ShardCapacity::Bounded(1),
+    ShardCapacity::Bounded(2),
+    ShardCapacity::Bounded(8),
+    ShardCapacity::Unbounded,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random DAGs over a colliding address set: the full N × C sweep.
+    #[test]
+    fn bounded_matches_unbounded_single_and_oracle(
+        tasks in prop::collection::vec(task_strategy(8, 4), 1..40),
+        seed in any::<u64>(),
+    ) {
+        for n in SHARD_COUNTS {
+            for c in CAPACITIES {
+                run_capacity_differential(&tasks, n, c, seed);
+            }
+        }
+    }
+
+    /// Wide random address sets: low collision, so stalls come from
+    /// capacity pressure alone (every task independent and resident).
+    #[test]
+    fn bounded_matches_on_wide_address_sets(
+        tasks in prop::collection::vec(task_strategy(3000, 3), 1..40),
+        seed in any::<u64>(),
+    ) {
+        for n in SHARD_COUNTS {
+            for c in [ShardCapacity::Bounded(1), ShardCapacity::Bounded(2)] {
+                run_capacity_differential(&tasks, n, c, seed);
+            }
+        }
+    }
+}
+
+/// A long deterministic soak: heavier than the proptest cases, same
+/// invariants, every (N, C) combination.
+#[test]
+fn soak_capacity_sweep_deterministic() {
+    let mut rng = Rng::new(0xCAFA_57A1);
+    let mut tasks = Vec::new();
+    for _ in 0..600 {
+        let n = 1 + rng.gen_range(4) as usize;
+        let params: Vec<Param> = (0..n)
+            .map(|_| {
+                let addr = 0x2000 + rng.gen_range(10) * 64;
+                let mode = match rng.gen_range(3) {
+                    0 => AccessMode::In,
+                    1 => AccessMode::Out,
+                    _ => AccessMode::InOut,
+                };
+                Param::new(addr, 16, mode)
+            })
+            .collect();
+        tasks.push(GenTask {
+            params: normalize_params(&params),
+        });
+    }
+    for n in SHARD_COUNTS {
+        for c in CAPACITIES {
+            run_capacity_differential(&tasks, n, c, 77);
+        }
+    }
+}
+
+/// The bounded batch front-end must match serial bounded submission:
+/// chunks offered through `submit_batch_bounded`, parking the remainder
+/// on a full shard and re-offering after a completion, execute the same
+/// exactly-once task set the oracle prescribes.
+#[test]
+fn bounded_batch_front_end_drains_capacity_stress() {
+    use nexuspp_workloads::CapacityStressSpec;
+    for (n_shards, capacity) in [
+        (2usize, ShardCapacity::Bounded(1)),
+        (4, ShardCapacity::Bounded(2)),
+        (4, ShardCapacity::Bounded(8)),
+    ] {
+        let trace = CapacityStressSpec {
+            chains: 8,
+            chain_len: 12,
+            shards: n_shards as u32,
+            wide_every: 3,
+            exec_ns: 0,
+        }
+        .generate();
+        let mut engine =
+            ShardedEngine::with_capacity(n_shards, &NexusConfig::unbounded(), capacity);
+        let mut oracle = OracleResolver::new();
+        for t in &trace.tasks {
+            let (oid, _) = oracle.submit(&t.params);
+            assert_eq!(oid as u64, t.id);
+        }
+        let mut ready: Vec<TaskId> = Vec::new();
+        let mut finished = BTreeSet::new();
+        let mut offer: Vec<(u64, u64, Vec<Param>)> = trace
+            .tasks
+            .iter()
+            .map(|t| (t.fptr, t.id, t.params.clone()))
+            .collect();
+        let mut rounds = 0u32;
+        while !offer.is_empty() {
+            rounds += 1;
+            assert!(rounds < 100_000, "batch front-end livelocked");
+            let out = engine.submit_batch_bounded(offer);
+            ready.extend(out.submitted.iter().filter(|(_, r)| *r).map(|(id, _)| *id));
+            offer = out.parked;
+            if out.stalled.is_some() {
+                // Park until a completion frees the stalled shard — here
+                // the "finish report" is retiring one ready task.
+                let id = ready.pop().expect("stalled with nothing ready: deadlock");
+                let tag = engine.tag_of(id);
+                assert!(oracle.ready_set().contains(&(tag as usize)));
+                assert!(finished.insert(tag), "task {tag} ran twice");
+                oracle.finish(tag as usize);
+                ready.extend(engine.finish(id).newly_ready);
+            }
+        }
+        while let Some(id) = ready.pop() {
+            let tag = engine.tag_of(id);
+            assert!(oracle.ready_set().contains(&(tag as usize)));
+            assert!(finished.insert(tag), "task {tag} ran twice");
+            oracle.finish(tag as usize);
+            ready.extend(engine.finish(id).newly_ready);
+        }
+        assert_eq!(finished.len(), trace.len(), "N={n_shards} C={capacity}");
+        assert!(oracle.all_done());
+        assert_eq!(engine.in_flight(), 0);
+    }
+}

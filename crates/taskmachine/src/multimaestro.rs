@@ -34,7 +34,8 @@
 //! differentially-verified readiness semantics unchanged; only time is
 //! modeled around it.
 
-use nexuspp_core::NexusConfig;
+use nexuspp_core::pool::PoolError;
+use nexuspp_core::{NexusConfig, ShardCapacity};
 use nexuspp_desim::clock::NEXUS_CLOCK_MHZ;
 use nexuspp_desim::stats::BusyTracker;
 use nexuspp_desim::{Clock, RoundRobinArbiter, Scheduler, SimTime};
@@ -65,10 +66,18 @@ pub struct MultiMaestroConfig {
     pub sram: SramTiming,
     /// Nexus++ clock domain.
     pub clock: Clock,
-    /// Per-shard engine capacities. Must be growable: this model measures
-    /// fabric contention, not capacity stalls (those paths are covered by
-    /// the sharded differential suite and the single-Maestro machine).
+    /// Per-shard engine capacities. Must be growable (software tables
+    /// virtualize in-shard storage); the *finite-hardware* bound is
+    /// [`capacity`](Self::capacity).
     pub nexus: NexusConfig,
+    /// Per-shard residency bound: each Maestro shard holds at most this
+    /// many resident Task Descriptors. A submission hitting a full shard
+    /// **stalls the master across the crossbar** — it stops preparing and
+    /// sending Task Descriptors, exactly like the single-Maestro `machine`
+    /// does on a full Task Pool — and retries when a finish phase
+    /// completes at the shards (cycle-accounted: the master resumes at
+    /// the finish job's crossbar completion time, not instantly).
+    pub capacity: ShardCapacity,
 }
 
 impl Default for MultiMaestroConfig {
@@ -84,6 +93,7 @@ impl Default for MultiMaestroConfig {
             sram: SramTiming::default(),
             clock: Clock::from_mhz(NEXUS_CLOCK_MHZ),
             nexus: NexusConfig::unbounded(),
+            capacity: ShardCapacity::Unbounded,
         }
     }
 }
@@ -94,6 +104,14 @@ impl MultiMaestroConfig {
         MultiMaestroConfig {
             shards,
             ..Default::default()
+        }
+    }
+
+    /// Default configuration at a given shard count and residency bound.
+    pub fn with_capacity(shards: usize, capacity: ShardCapacity) -> Self {
+        MultiMaestroConfig {
+            capacity,
+            ..Self::with_shards(shards)
         }
     }
 
@@ -111,8 +129,10 @@ impl MultiMaestroConfig {
         assert!(self.window >= self.batch, "window must cover one batch");
         assert!(
             self.nexus.growable,
-            "multi-Maestro mode measures fabric contention; use a growable NexusConfig"
+            "multi-Maestro mode virtualizes table storage; use a growable NexusConfig \
+             (bound residency via capacity)"
         );
+        self.capacity.validate();
     }
 }
 
@@ -137,6 +157,18 @@ pub struct MultiMaestroReport {
     pub batches: u64,
     /// Total crossbar grants issued.
     pub crossbar_grants: u64,
+    /// Residency bound the run was simulated under.
+    pub capacity: ShardCapacity,
+    /// Master stall episodes: times the master parked on a full shard and
+    /// stopped sending Task Descriptors (0 when `capacity` is unbounded).
+    pub master_capacity_stalls: u64,
+    /// Stall episodes attributed to each shard (the episode's first full
+    /// shard).
+    pub shard_stalls: Vec<u64>,
+    /// Episodes resolved by a successful retry, per shard (equals
+    /// `shard_stalls` element-wise once the run drains — every stall is
+    /// eventually resolved).
+    pub shard_retries_resolved: Vec<u64>,
 }
 
 impl MultiMaestroReport {
@@ -219,6 +251,14 @@ struct Sim<'t> {
     prepping: bool,
     batch_buf: Vec<BufferedSubmit>,
     in_window: usize,
+    /// Trace index of a prepared task whose admission found a shard
+    /// full: the master is stalled and sends nothing until a finish
+    /// phase frees a slot.
+    parked: Option<usize>,
+    /// The current stall episode's first full shard (counter attribution).
+    episode_shard: Option<u32>,
+    shard_stalls: Vec<u64>,
+    shard_retries_resolved: Vec<u64>,
     // Phases.
     phases: Vec<Option<Phase>>,
     free_phases: Vec<usize>,
@@ -245,12 +285,16 @@ impl<'t> Sim<'t> {
         let s = cfg.shards;
         let sources = 1 + cfg.workers;
         Sim {
-            engine: ShardedEngine::new(s, &cfg.nexus),
+            engine: ShardedEngine::with_capacity(s, &cfg.nexus, cfg.capacity),
             sched: Scheduler::new(),
             cursor: 0,
             prepping: false,
             batch_buf: Vec::new(),
             in_window: 0,
+            parked: None,
+            episode_shard: None,
+            shard_stalls: vec![0; s],
+            shard_retries_resolved: vec![0; s],
             phases: Vec::new(),
             free_phases: Vec::new(),
             queues: (0..s)
@@ -331,8 +375,13 @@ impl<'t> Sim<'t> {
         if self.prepping {
             return;
         }
-        if self.cursor >= self.trace.len() || self.in_window >= self.cfg.window {
-            // Can't continue right now: ship whatever is buffered.
+        if self.parked.is_some()
+            || self.cursor >= self.trace.len()
+            || self.in_window >= self.cfg.window
+        {
+            // Can't continue right now: ship whatever is buffered (a
+            // stalled master must still flush, or the resident tasks the
+            // retry waits on would never become runnable).
             if !self.batch_buf.is_empty() {
                 self.flush_batch();
             }
@@ -344,13 +393,41 @@ impl<'t> Sim<'t> {
 
     fn on_prep_done(&mut self) {
         self.prepping = false;
-        let rec = &self.trace.tasks[self.cursor];
+        let idx = self.cursor;
         self.cursor += 1;
+        self.ingest(idx);
+        self.poll_master();
+    }
+
+    /// Admit the prepared trace record at `idx` into the sharded engine,
+    /// or park the master on the full shard (stall episode counted once,
+    /// against the first rejecting shard).
+    fn ingest(&mut self, idx: usize) {
+        let rec = &self.trace.tasks[idx];
+        let (id, admit_cost) = match self.engine.try_admit(rec.fptr, rec.id, rec.params.clone()) {
+            Ok(v) => v,
+            Err(rej) => {
+                debug_assert!(
+                    matches!(rej.error, PoolError::PoolFull { .. }),
+                    "residency rejections are always retryable: {rej:?}"
+                );
+                if self.episode_shard.is_none() {
+                    self.episode_shard = Some(rej.shard);
+                    self.shard_stalls[rej.shard as usize] += 1;
+                }
+                self.parked = Some(idx);
+                // The stalled master sends nothing more; ship what it
+                // already buffered so completions can free the shard.
+                if !self.batch_buf.is_empty() {
+                    self.flush_batch();
+                }
+                return;
+            }
+        };
+        if let Some(first) = self.episode_shard.take() {
+            self.shard_retries_resolved[first as usize] += 1;
+        }
         self.in_window += 1;
-        let (id, admit_cost) = self
-            .engine
-            .admit(rec.fptr, rec.id, rec.params.clone())
-            .expect("growable engine cannot reject");
         let (ready, check_cost) = match self.engine.check(id) {
             ShardedCheck::Done { ready, cost } => (ready, cost),
             ShardedCheck::Stalled { .. } => unreachable!("growable engine cannot stall"),
@@ -378,7 +455,15 @@ impl<'t> Sim<'t> {
         if self.batch_buf.len() >= self.cfg.batch {
             self.flush_batch();
         }
-        self.poll_master();
+    }
+
+    /// Retry the parked admission after a finish phase completed at the
+    /// shards (the stall/retry handshake's wake edge — the master resumes
+    /// at crossbar finish-completion time).
+    fn retry_parked(&mut self) {
+        if let Some(idx) = self.parked.take() {
+            self.ingest(idx);
+        }
     }
 
     /// Ship the buffered submissions: one job per involved shard, paying
@@ -453,6 +538,8 @@ impl<'t> Sim<'t> {
                         self.ready.push_back(id);
                     }
                 }
+                // A finish phase is the wake edge for a stalled master.
+                self.retry_parked();
                 self.poll_master();
             }
         }
@@ -516,6 +603,11 @@ impl<'t> Sim<'t> {
             self.trace.len()
         );
         assert_eq!(self.engine.in_flight(), 0, "leaked in-flight tasks");
+        assert!(self.parked.is_none(), "master still parked at drain");
+        debug_assert_eq!(
+            self.shard_stalls, self.shard_retries_resolved,
+            "every stall episode must resolve by drain time"
+        );
         MultiMaestroReport {
             shards: self.cfg.shards,
             workers: self.cfg.workers,
@@ -526,6 +618,10 @@ impl<'t> Sim<'t> {
             peak_shard_queue: self.peak_queue,
             batches: self.batches,
             crossbar_grants: self.arbs.iter().map(|a| a.grants()).sum(),
+            capacity: self.cfg.capacity,
+            master_capacity_stalls: self.shard_stalls.iter().sum(),
+            shard_stalls: self.shard_stalls,
+            shard_retries_resolved: self.shard_retries_resolved,
         }
     }
 }
@@ -663,6 +759,139 @@ mod tests {
         for shards in [1, 2, 4] {
             let r = simulate_sharded(MultiMaestroConfig::with_shards(shards), &trace);
             assert_eq!(r.tasks, trace.len() as u64, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn capacity_one_stress_drains_for_every_worker_count() {
+        // The modeled half of the deadlock-freedom stress: the sim's own
+        // drain assertion is the watchdog — a lost stall wake-up leaves
+        // tasks unfinished and fails the run loudly.
+        use nexuspp_workloads::CapacityStressSpec;
+        let trace = CapacityStressSpec::pressure(2).generate();
+        for workers in [1usize, 2, 4, 8] {
+            let r = simulate_sharded(
+                MultiMaestroConfig {
+                    workers,
+                    capacity: ShardCapacity::Bounded(1),
+                    ..MultiMaestroConfig::with_shards(2).no_prep()
+                },
+                &trace,
+            );
+            assert_eq!(r.tasks, trace.len() as u64, "workers={workers}");
+            assert_eq!(
+                r.shard_stalls, r.shard_retries_resolved,
+                "workers={workers}: unresolved stall episodes"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_capacity_completes_under_pressure_and_accounts_stalls() {
+        use nexuspp_workloads::CapacityStressSpec;
+        for shards in [1usize, 2, 4] {
+            let trace = CapacityStressSpec::pressure(shards as u32).generate();
+            let r = simulate_sharded(
+                MultiMaestroConfig {
+                    capacity: ShardCapacity::Bounded(1),
+                    ..resolution_bound(shards)
+                },
+                &trace,
+            );
+            assert_eq!(r.tasks, trace.len() as u64, "shards={shards}");
+            assert_eq!(r.capacity, ShardCapacity::Bounded(1));
+            assert!(
+                r.master_capacity_stalls > 0,
+                "shards={shards}: a fan-out wider than capacity 1 must stall the master"
+            );
+            assert_eq!(
+                r.master_capacity_stalls,
+                r.shard_stalls.iter().sum::<u64>(),
+                "shards={shards}: episode total must equal per-shard attribution"
+            );
+            for s in 0..shards {
+                assert_eq!(
+                    r.shard_stalls[s], r.shard_retries_resolved[s],
+                    "shards={shards} shard {s}: every stall episode must resolve"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_capacity_reports_zero_stalls_and_is_never_slower() {
+        use nexuspp_workloads::CapacityStressSpec;
+        let trace = CapacityStressSpec::pressure(4).generate();
+        let free = simulate_sharded(resolution_bound(4), &trace);
+        assert_eq!(free.capacity, ShardCapacity::Unbounded);
+        assert_eq!(free.master_capacity_stalls, 0);
+        assert!(free.shard_stalls.iter().all(|&s| s == 0));
+        assert!(free.shard_retries_resolved.iter().all(|&s| s == 0));
+        let tight = simulate_sharded(
+            MultiMaestroConfig {
+                capacity: ShardCapacity::Bounded(1),
+                ..resolution_bound(4)
+            },
+            &trace,
+        );
+        assert!(
+            tight.makespan >= free.makespan,
+            "stalling on capacity must not beat unbounded tables \
+             (bounded {} vs unbounded {})",
+            tight.makespan,
+            free.makespan
+        );
+    }
+
+    #[test]
+    fn capacity_one_stalls_hardest_and_unbounded_never() {
+        // Stall *episodes* are not monotone in capacity (a tight bound
+        // parks longer per episode, a wider one parks more often but
+        // briefly), so the principled claims are the endpoints: the
+        // tightest bound stalls strictly most, the unbounded table never.
+        use nexuspp_workloads::CapacityStressSpec;
+        let trace = CapacityStressSpec::pressure(4).generate();
+        let stalls: Vec<u64> = [
+            ShardCapacity::Bounded(1),
+            ShardCapacity::Bounded(4),
+            ShardCapacity::Bounded(16),
+            ShardCapacity::Unbounded,
+        ]
+        .into_iter()
+        .map(|capacity| {
+            simulate_sharded(
+                MultiMaestroConfig {
+                    capacity,
+                    ..resolution_bound(4)
+                },
+                &trace,
+            )
+            .master_capacity_stalls
+        })
+        .collect();
+        assert!(stalls[0] > 0, "capacity 1 must be under pressure");
+        for (i, &s) in stalls.iter().enumerate().skip(1) {
+            assert!(
+                s < stalls[0],
+                "capacity 1 must stall strictly most: {stalls:?} (index {i})"
+            );
+        }
+        assert_eq!(*stalls.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn gaussian_resolves_identically_across_capacities() {
+        // Dependency-rich workload: the bounded fabric must execute the
+        // same task set at every capacity (the machine-level face of the
+        // capacity-differential suite).
+        let trace = GaussianSpec::new(20).trace();
+        for capacity in [
+            ShardCapacity::Bounded(1),
+            ShardCapacity::Bounded(4),
+            ShardCapacity::Unbounded,
+        ] {
+            let r = simulate_sharded(MultiMaestroConfig::with_capacity(2, capacity), &trace);
+            assert_eq!(r.tasks, trace.len() as u64, "capacity={capacity}");
         }
     }
 

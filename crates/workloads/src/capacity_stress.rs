@@ -1,0 +1,208 @@
+//! The capacity-stress workload: deep serial `inout` chains fanned out
+//! wide enough to overflow any bounded shard table.
+//!
+//! Shape: one root task writes a seed address homed on shard 0; `chains`
+//! chain-head tasks each read the seed and take `inout` ownership of
+//! their chain's cell (cells steered round-robin across shards); every
+//! subsequent chain task accesses its cell `inout`, so each chain is
+//! strictly serial. Every `wide_every`-th task of a chain additionally
+//! writes a fresh address homed on the *next* shard over, so bounded
+//! resolvers must repeatedly perform atomic multi-shard admissions.
+//!
+//! Submission order is round-robin across chains by depth, which is what
+//! makes the stream a capacity stressor: after the root, all `chains`
+//! heads are submitted before any chain's second task, so a resolver
+//! wants `≈ chains` resident tasks per shard — size `chains` well above
+//! the capacity under test and every submission past the bound must
+//! stall, retry, and resume on a finish report. Because producers still
+//! precede consumers (StarSs program order), a correct bounded resolver
+//! drains the stream at any capacity ≥ 1; a deadlock here is a protocol
+//! bug, not a workload artifact.
+
+use nexuspp_core::shard_of_addr;
+use nexuspp_desim::SimTime;
+use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+
+/// Parameters of the capacity-stress stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityStressSpec {
+    /// Serial chains released at once by the root (the fan-out width —
+    /// size this above the capacity under test).
+    pub chains: u32,
+    /// Serial `inout` tasks per chain (the depth that keeps pressure on
+    /// while earlier tasks retire).
+    pub chain_len: u32,
+    /// Shard count the cells are steered against (must match the
+    /// consuming resolver for the spread to mean anything).
+    pub shards: u32,
+    /// Every `wide_every`-th task of a chain also writes a fresh address
+    /// on the next shard over (multi-shard atomic admissions). 0 disables
+    /// wide tasks.
+    pub wide_every: u32,
+    /// Pure execution time per task.
+    pub exec_ns: u64,
+}
+
+impl CapacityStressSpec {
+    /// A stream sized to swamp bounded shards: 4 chains per shard, depth
+    /// 64, a two-shard-wide task every 4th step.
+    pub fn pressure(shards: u32) -> Self {
+        CapacityStressSpec {
+            chains: 4 * shards.max(1),
+            chain_len: 64,
+            shards,
+            wide_every: 4,
+            exec_ns: 0,
+        }
+    }
+
+    /// Total tasks including the root.
+    pub fn task_count(&self) -> u64 {
+        1 + self.chains as u64 * self.chain_len as u64
+    }
+
+    /// Generate the trace (round-robin submission order across chains).
+    pub fn generate(&self) -> Trace {
+        assert!(self.chains >= 1, "need at least one chain");
+        assert!(self.chain_len >= 1, "chains need at least one task");
+        assert!(self.shards >= 1, "need at least one shard");
+        let stride = 64u64;
+        let base = 0xCA9A_0000u64;
+        let mut cursor = 0u64;
+        // Steer candidate segments through the resolver's own router, so
+        // the stream stays valid for any hash family the core exports.
+        let mut addr_on = |target: u32| -> u64 {
+            loop {
+                let addr = base + cursor * stride;
+                cursor += 1;
+                if shard_of_addr(addr, self.shards as usize) == target as usize {
+                    return addr;
+                }
+            }
+        };
+        let seed_addr = addr_on(0);
+        let cells: Vec<u64> = (0..self.chains).map(|c| addr_on(c % self.shards)).collect();
+        let task = |id: u64, params: Vec<Param>| TaskRecord {
+            id,
+            fptr: 0xCAFA,
+            params,
+            exec: SimTime::from_ns(self.exec_ns),
+            read: MemCost::None,
+            write: MemCost::None,
+        };
+        let mut tasks = Vec::with_capacity(self.task_count() as usize);
+        tasks.push(task(0, vec![Param::output(seed_addr, 64)]));
+        let mut id = 1u64;
+        for depth in 0..self.chain_len {
+            for c in 0..self.chains {
+                let cell = cells[c as usize];
+                let mut params = Vec::with_capacity(3);
+                if depth == 0 {
+                    params.push(Param::input(seed_addr, 64));
+                }
+                params.push(Param::inout(cell, 16));
+                if self.wide_every > 0 && depth % self.wide_every == self.wide_every - 1 {
+                    params.push(Param::output(addr_on((c + 1) % self.shards), 16));
+                }
+                tasks.push(task(id, params));
+                id += 1;
+            }
+        }
+        Trace::from_tasks(
+            format!(
+                "capacity-stress-{}x{}s{}w{}",
+                self.chains, self.chain_len, self.shards, self.wide_every
+            ),
+            tasks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexuspp_core::oracle::OracleResolver;
+
+    #[test]
+    fn only_root_starts_and_fanout_follows() {
+        let spec = CapacityStressSpec::pressure(4);
+        let trace = spec.generate();
+        assert_eq!(trace.len() as u64, spec.task_count());
+        let mut oracle = OracleResolver::new();
+        let mut ready_at_submit = 0;
+        for t in &trace.tasks {
+            let (_, ready) = oracle.submit(&t.params);
+            if ready {
+                ready_at_submit += 1;
+            }
+        }
+        assert_eq!(ready_at_submit, 1, "only the root may start immediately");
+        let mut ready = oracle.ready_set();
+        assert_eq!(ready.len(), 1);
+        let woken = oracle.finish(ready.pop().unwrap());
+        assert_eq!(
+            woken.len() as u32,
+            spec.chains,
+            "the root must release every chain head at once"
+        );
+    }
+
+    #[test]
+    fn chains_serialize_and_drain() {
+        let spec = CapacityStressSpec {
+            chains: 6,
+            chain_len: 9,
+            shards: 3,
+            wide_every: 2,
+            exec_ns: 0,
+        };
+        let trace = spec.generate();
+        let mut oracle = OracleResolver::new();
+        for t in &trace.tasks {
+            oracle.submit(&t.params);
+        }
+        let mut ready = oracle.ready_set();
+        let mut done = 0u64;
+        while let Some(id) = ready.pop() {
+            done += 1;
+            let woken = oracle.finish(id);
+            ready.extend(woken);
+            assert!(
+                ready.len() as u32 <= spec.chains,
+                "chains must stay strictly serial"
+            );
+        }
+        assert_eq!(done, spec.task_count());
+        assert!(oracle.all_done());
+    }
+
+    #[test]
+    fn cells_spread_across_shards_and_wide_tasks_span_two() {
+        let spec = CapacityStressSpec::pressure(4);
+        let trace = spec.generate();
+        let mut cell_shards = std::collections::BTreeSet::new();
+        let mut wide_tasks = 0u32;
+        for t in trace.tasks.iter().skip(1) {
+            let shards: std::collections::BTreeSet<usize> =
+                t.params.iter().map(|p| shard_of_addr(p.addr, 4)).collect();
+            if t.params.iter().filter(|p| !p.mode.is_read_only()).count() == 2 {
+                wide_tasks += 1;
+                assert_eq!(shards.len(), 2, "wide tasks must span two shards");
+            }
+            cell_shards.extend(shards);
+        }
+        assert_eq!(cell_shards.len(), 4, "cells must cover every shard");
+        assert_eq!(
+            wide_tasks,
+            spec.chains * (spec.chain_len / spec.wide_every),
+            "every wide_every-th step of every chain is wide"
+        );
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let a = CapacityStressSpec::pressure(2).generate();
+        let b = CapacityStressSpec::pressure(2).generate();
+        assert_eq!(a.tasks, b.tasks);
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`sharded_stress`] — shard-aware address streams with tunable shard
 //!   skew and hot-key ratio, driving the sharded resolver's balanced best
 //!   case and its pathological single-hot-shard case,
+//! * [`capacity_stress`] — deep serial `inout` chains fanned out wider
+//!   than any bounded shard table, the stall/retry stressor for the
+//!   fixed-capacity resolvers (`ShardCapacity`),
 //! * [`steal_stress`] — the imbalanced fan-out (one root releasing many
 //!   serial chains at once) that makes work stealing mandatory for
 //!   speedup, driving the `nexuspp-sched` scheduler comparison,
@@ -28,6 +31,7 @@
 //!   path) used to regenerate Figure 4's ramp-effect illustration.
 
 pub mod analysis;
+pub mod capacity_stress;
 pub mod gaussian;
 pub mod grid;
 pub mod random;
@@ -37,6 +41,7 @@ pub mod stress;
 pub mod timing;
 pub mod video;
 
+pub use capacity_stress::CapacityStressSpec;
 pub use gaussian::{GaussianSource, GaussianSpec};
 pub use grid::{GridPattern, GridSpec};
 pub use sharded_stress::ShardedStressSpec;

@@ -13,7 +13,9 @@
 //!   protocol (the paper's primary contribution),
 //! * [`shard`] — sharded resolution: N address-partitioned engines
 //!   composed into one logically-equivalent resolver, with a batched
-//!   submission front-end and a per-shard-locked concurrent dispatcher,
+//!   submission front-end, a per-shard-locked concurrent dispatcher,
+//!   and an optional finite per-shard capacity (stall/retry on full
+//!   shards, like the real hardware tables),
 //! * [`taskmachine`] — the full-system "Task Machine" simulator, plus the
 //!   multi-Maestro sharded variant,
 //! * [`sched`] — the ready-task scheduling layer: per-worker
@@ -79,6 +81,24 @@
 //! }
 //! rt.barrier();
 //! assert_eq!(rt.with_data(&sum, |v| v[0]), 3 * 64);
+//!
+//! // Finite hardware tables, as a knob: a sharded runtime whose shards
+//! // each hold at most 2 resident tasks. Overflowing submissions stall
+//! // (the paper's master-core stall) and resume on finish reports; the
+//! // per-shard counters must balance once quiescent.
+//! use nexuspp::runtime::{ShardCapacity, ShardedRuntime};
+//!
+//! let srt = ShardedRuntime::with_capacity(2, 2, ShardCapacity::Bounded(2));
+//! let cell = srt.region(vec![0u64]);
+//! for _ in 0..32 {
+//!     let cell2 = cell.clone();
+//!     srt.task().inout(&cell).spawn(move |t| t.write(&cell2)[0] += 1);
+//! }
+//! srt.barrier();
+//! assert_eq!(srt.with_data(&cell, |v| v[0]), 32);
+//! for shard in srt.capacity_counts() {
+//!     assert_eq!(shard.stalls_observed, shard.retries_resolved);
+//! }
 //! ```
 
 pub use nexuspp_baseline as baseline;
