@@ -1,0 +1,97 @@
+//! Wake-delivery throughput: locked kick-off lists vs lock-free wake
+//! lists on the wide fan-in `wake_stress` workload.
+//!
+//! Two views:
+//!
+//! * `wake_delivery/dispatcher` — the threaded `ShardDispatcher` alone,
+//!   via the harness in `nexuspp_shard::stress` (payloads are `u64`s):
+//!   4 finisher workers hammer one hot shard. This is the layer where
+//!   the acceptance bar lives — the ≥ 1.3× delivery-time comparison
+//!   (and the zero-shard-lock-acquisition invariant) is asserted
+//!   deterministically in `nexuspp-shard`'s `wake_perf` test; the lines
+//!   printed here are the same measurement under criterion timing.
+//! * `wake_delivery/runtime` — end to end through `ShardedRuntime`
+//!   (work-stealing scheduler, region bookkeeping, real closures), so
+//!   the wake path's share of total runtime overhead is visible.
+//!
+//! Delivery time and lock-acquisition counters are printed per
+//! configuration so a lock sneaking back into the wake path shows up
+//! even where wall-clock noise hides it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nexuspp_runtime::{SchedulerKind, ShardCapacity, ShardedRuntime};
+use nexuspp_shard::stress::{run_wake_stress, WakeStressSpec};
+use nexuspp_shard::WakeMode;
+
+const MODES: [WakeMode; 2] = [WakeMode::Locked, WakeMode::LockFree];
+
+fn bench_dispatcher_layer(c: &mut Criterion) {
+    let spec = WakeStressSpec {
+        finishers: 4,
+        producers: 128,
+        consumers_per: 16,
+        shards: 4,
+    };
+    let mut g = c.benchmark_group("wake_delivery/dispatcher");
+    g.sample_size(10);
+    g.throughput(criterion::Throughput::Elements(spec.wake_count()));
+    for mode in MODES {
+        // One reporting run outside the timer for the counters.
+        let r = run_wake_stress(mode, &spec);
+        println!(
+            "dispatcher/{}: {} wakes, delivery {:?}, {} delivery lock acquisitions",
+            mode.name(),
+            r.woken,
+            r.delivery_time(),
+            r.wake_counts.delivery_lock_acquisitions
+        );
+        g.bench_function(mode.name(), |b| {
+            b.iter(|| run_wake_stress(mode, &spec));
+        });
+    }
+    g.finish();
+}
+
+fn bench_runtime_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wake_delivery/runtime");
+    g.sample_size(10);
+    let producers = 32u32;
+    let consumers_per = 16u32;
+    g.throughput(criterion::Throughput::Elements(
+        producers as u64 * consumers_per as u64,
+    ));
+    for mode in MODES {
+        g.bench_function(mode.name(), |b| {
+            b.iter(|| {
+                let rt = ShardedRuntime::with_options(
+                    4,
+                    4,
+                    SchedulerKind::default(),
+                    ShardCapacity::Unbounded,
+                    mode,
+                );
+                let cells: Vec<_> = (0..producers).map(|_| rt.region(vec![0u64])).collect();
+                for cell in &cells {
+                    {
+                        let cell = cell.clone();
+                        rt.task().output(&cell).spawn(move |t| {
+                            t.write(&cell)[0] = 1;
+                        });
+                    }
+                    for _ in 0..consumers_per {
+                        let cell = cell.clone();
+                        rt.task().input(&cell).spawn(move |t| {
+                            assert_eq!(t.read(&cell)[0], 1);
+                        });
+                    }
+                }
+                rt.barrier();
+                rt.wake_counts().delivered
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatcher_layer, bench_runtime_level);
+criterion_main!(benches);

@@ -18,6 +18,7 @@
 //!   shards     multi-Maestro shard scaling           (extension)
 //!   steal      ready-queue vs work-stealing sched    (extension)
 //!   capacity   bounded shard tables, stall/retry     (extension)
+//!   wakes      locked vs lock-free wake delivery     (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -32,7 +33,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|all> \
          [--full] [--quick] [--csv DIR]"
     );
     std::process::exit(2);
@@ -84,6 +85,7 @@ fn main() {
         "shards" => run(vec![experiments::shards(&opts)], &opts),
         "steal" => run(vec![experiments::steal(&opts)], &opts),
         "capacity" => run(vec![experiments::capacity(&opts)], &opts),
+        "wakes" => run(vec![experiments::wakes(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

@@ -1075,6 +1075,148 @@ pub fn steal(opts: &ExpOptions) -> Experiment {
 }
 
 // ---------------------------------------------------------------------
+// Lock-free wake lists (kick-off delivery extension)
+// ---------------------------------------------------------------------
+
+/// Wake-delivery study: locked kick-off lists vs lock-free wake lists on
+/// the wide fan-in wake-stress stream, plus the multi-Maestro model's
+/// per-shard kick-off FIFO depths. Not a paper figure — this closes the
+/// ROADMAP's "lock-free kick-off lists" item: finish-side wake delivery
+/// posts outside the shard lock and is drained by a CAS-claimed owner,
+/// so it performs zero shard-lock acquisitions (self-checked below) and
+/// stops queueing behind resolution on the hot shard.
+pub fn wakes(opts: &ExpOptions) -> Experiment {
+    use nexuspp_shard::stress::{best_of, WakeStressSpec};
+    use nexuspp_shard::WakeMode;
+    use nexuspp_taskmachine::{simulate_sharded, MultiMaestroConfig};
+    use nexuspp_workloads::WakeStressSpec as WakeTraceSpec;
+
+    let modes = [WakeMode::Locked, WakeMode::LockFree];
+    let runs: u32 = if opts.quick { 2 } else { 3 };
+    let producers: u32 = if opts.quick { 64 } else { 256 };
+
+    // Threaded dispatcher: 4 finisher workers hammer one hot shard's
+    // wake path; the delivery-time ratio is the gated quantity.
+    let mut disp_t = TextTable::new(vec![
+        "wake mode",
+        "burst",
+        "tasks",
+        "wakes",
+        "wall ms",
+        "delivery us",
+        "vs locked",
+        "lock acq",
+    ]);
+    let mut notes = Vec::new();
+    for &consumers_per in &[4u32, 24] {
+        let spec = WakeStressSpec {
+            finishers: 4,
+            producers,
+            consumers_per,
+            shards: 4,
+        };
+        let mut locked_delivery = None;
+        for mode in modes {
+            let r = best_of(mode, &spec, runs);
+            let delivery_us = r.wake_counts.delivery_ns as f64 / 1e3;
+            let base = *locked_delivery.get_or_insert(delivery_us);
+            if mode == WakeMode::LockFree && r.wake_counts.delivery_lock_acquisitions != 0 {
+                notes.push(format!(
+                    "REGRESSION: lock-free delivery took {} shard-lock acquisitions",
+                    r.wake_counts.delivery_lock_acquisitions
+                ));
+            }
+            if r.woken != spec.wake_count() {
+                notes.push(format!(
+                    "REGRESSION: {} mode delivered {} of {} wakes",
+                    mode.name(),
+                    r.woken,
+                    spec.wake_count()
+                ));
+            }
+            disp_t.row(vec![
+                mode.name().to_string(),
+                consumers_per.to_string(),
+                r.completed.to_string(),
+                r.woken.to_string(),
+                f2(r.elapsed.as_secs_f64() * 1e3),
+                f1(delivery_us),
+                format!("{}x", f2(base / delivery_us)),
+                r.wake_counts.delivery_lock_acquisitions.to_string(),
+            ]);
+        }
+    }
+
+    // Modeled: the multi-Maestro kick-off FIFOs under the same fan-in,
+    // sweeping burst width — peak depth on the hot shard is the queueing
+    // the lock-free lists absorb.
+    let mut model_t = TextTable::new(vec![
+        "burst",
+        "tasks",
+        "wakes delivered",
+        "hot-shard peak depth",
+        "makespan us",
+        "tasks/s (modeled)",
+    ]);
+    for &consumers_per in &[4u32, 16, 64] {
+        let spec = WakeTraceSpec::new(if opts.quick { 32 } else { 96 }, consumers_per);
+        let trace = spec.generate();
+        let r = simulate_sharded(
+            MultiMaestroConfig {
+                workers: 16,
+                ..MultiMaestroConfig::with_shards(4).no_prep()
+            },
+            &trace,
+        );
+        let delivered: u64 = r.shard_wakes_delivered.iter().sum();
+        if delivered == 0 || delivered > spec.wake_count() {
+            notes.push(format!(
+                "REGRESSION: model delivered {} kick-offs of at most {}",
+                delivered,
+                spec.wake_count()
+            ));
+        }
+        model_t.row(vec![
+            consumers_per.to_string(),
+            r.tasks.to_string(),
+            delivered.to_string(),
+            r.shard_wake_peak.iter().max().unwrap().to_string(),
+            f1(r.makespan.as_ns_f64() / 1e3),
+            format!("{:.0}", r.tasks_per_sec()),
+        ]);
+    }
+
+    notes.extend([
+        "delivery time counts the drain-to-report step only (claim + hand-off); \
+         resolution work under the shard lock is identical across modes, which is \
+         why end-to-end wall-clock barely moves while delivery shrinks"
+            .into(),
+        "the >= 1.3x delivery bar at 4 workers (and the zero-lock-acquisition \
+         invariant) is asserted deterministically in nexuspp-shard \
+         tests/wake_perf.rs; rows here are 'best of N' measurements of the same \
+         workload"
+            .into(),
+        "modeled rows: every consumer that parked at its check is delivered through \
+         a kick-off FIFO exactly once (asserted inside the model); consumers the \
+         master submitted after their producer already finished start ready and \
+         bypass kick-off, so 'wakes delivered' can sit below the DAG's edge count"
+            .into(),
+    ]);
+    Experiment {
+        id: "wakes",
+        title: "Wake delivery: locked kick-off lists vs lock-free wake lists (wake_stress)".into(),
+        tables: vec![
+            (
+                "Threaded dispatcher (4 finisher workers, hot shard)".into(),
+                disp_t,
+            ),
+            ("Multi-Maestro kick-off FIFOs (modeled)".into(), model_t),
+        ],
+        notes,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Bounded shard capacity (finite-table extension)
 // ---------------------------------------------------------------------
 
@@ -1221,6 +1363,7 @@ pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
         shards(opts),
         steal(opts),
         capacity(opts),
+        wakes(opts),
     ]
 }
 
@@ -1294,6 +1437,19 @@ mod tests {
         // Modeled rows: 2 workloads × 4 capacities; threaded rows: 4.
         assert_eq!(e.tables[0].1.len(), 8);
         assert_eq!(e.tables[1].1.len(), 4);
+    }
+
+    #[test]
+    fn wakes_sweep_is_self_consistent() {
+        let e = wakes(&quick());
+        assert!(
+            !e.notes.iter().any(|n| n.contains("REGRESSION")),
+            "wake delivery accounting broke: {:?}",
+            e.notes
+        );
+        // Threaded rows: 2 modes × 2 burst widths; modeled rows: 3.
+        assert_eq!(e.tables[0].1.len(), 4);
+        assert_eq!(e.tables[1].1.len(), 3);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | shard scaling (extension) | [`experiments::shards`] | `repro shards` |
 //! | ready scheduling (extension) | [`experiments::steal`] | `repro steal` |
 //! | bounded shard capacity (extension) | [`experiments::capacity`] | `repro capacity` |
+//! | wake delivery (extension) | [`experiments::wakes`] | `repro wakes` |
 
 pub mod experiments;
 pub mod steal_driver;

@@ -42,4 +42,4 @@ pub use cost::OpCost;
 pub use engine::{AdmitError, CheckProgress, DependencyEngine, FinishResult};
 pub use pool::{PoolError, TaskPool, TdIndex};
 pub use priority::Priority;
-pub use table::{address_hash, shard_of_addr, DepTable, TableFull};
+pub use table::{address_hash, nth_addr_on_shard, shard_of_addr, DepTable, TableFull};

@@ -184,6 +184,26 @@ pub fn shard_of_addr(addr: u64, n_shards: usize) -> usize {
     ((address_hash(addr) >> 32) % n_shards as u64) as usize
 }
 
+/// The `index`-th cache-line-aligned address (by a fixed scan order)
+/// homed on `shard` of an `n_shards`-way partition. Shard-targeted
+/// workload generators use this so the threaded harnesses and the trace
+/// specs aim at *the same* addresses — the wake-stress pair in
+/// `nexuspp-shard` and `nexuspp-workloads` must describe one DAG.
+pub fn nth_addr_on_shard(shard: usize, n_shards: usize, index: u32) -> u64 {
+    let mut found = 0;
+    let mut a = 0u64;
+    loop {
+        let addr = 0xAE_0000 + a * 64;
+        a += 1;
+        if shard_of_addr(addr, n_shards) == shard {
+            if found == index {
+                return addr;
+            }
+            found += 1;
+        }
+    }
+}
+
 #[inline]
 fn mix(addr: u64) -> u64 {
     address_hash(addr)

@@ -52,7 +52,7 @@ pub mod stress;
 
 pub use nexuspp_core::ShardCapacity;
 pub use nexuspp_sched::{SchedCounts, SchedulerKind};
-pub use nexuspp_shard::CapacityCounts;
+pub use nexuspp_shard::{CapacityCounts, WakeCounts, WakeMode};
 pub use region::{Region, RegionId};
 pub use runtime::{Runtime, TaskBuilder, TaskCtx};
 pub use sharded::{ShardedRuntime, ShardedTaskBuilder};

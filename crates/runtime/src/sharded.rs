@@ -1,6 +1,6 @@
-//! The sharded runtime: the same StarSs-like API as [`Runtime`], with
-//! dependency resolution partitioned over N engines behind per-shard
-//! locks.
+//! The sharded runtime: the same StarSs-like API as
+//! [`Runtime`](crate::Runtime), with dependency resolution partitioned
+//! over N engines behind per-shard locks.
 //!
 //! [`Runtime`](crate::Runtime) funnels every `submit`/`finish` through a
 //! single `Mutex<DependencyEngine>` — the software re-creation of the
@@ -23,12 +23,19 @@
 //! one lock acquisition and one `Wake(n)` token instead of a queue-lock +
 //! channel-send per wake; under work stealing the whole burst lands on
 //! the finishing worker's own deque and idle workers steal it back out.
+//!
+//! Between the shards and the scheduler sits the dispatcher's wake path
+//! (see [`WakeMode`]): under the default lock-free mode a worker never
+//! holds a shard lock across wake delivery — ready tasks post to
+//! per-shard MPSC wake lists as the lock is released, and the worker
+//! drains whatever lists it can claim (its own wakes, plus any a
+//! concurrent finisher posted and skipped) straight into `wake_batch`.
 
 use crate::region::{Region, RegionId};
 use crate::runtime::{Grants, Job, TaskCtx};
 use nexuspp_core::{NexusConfig, Priority, ShardCapacity};
 use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
-use nexuspp_shard::{CapacityCounts, ShardDispatcher, TaskTicket};
+use nexuspp_shard::{CapacityCounts, ShardDispatcher, TaskTicket, WakeCounts, WakeMode};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use parking_lot::{Condvar, Mutex};
@@ -140,7 +147,13 @@ impl ShardedRuntime {
 
     /// Start a runtime with an explicit ready-task scheduler kind.
     pub fn with_scheduler(n: usize, shards: usize, kind: SchedulerKind) -> Self {
-        ShardedRuntime::with_options(n, shards, kind, ShardCapacity::Unbounded)
+        ShardedRuntime::with_options(
+            n,
+            shards,
+            kind,
+            ShardCapacity::Unbounded,
+            WakeMode::default(),
+        )
     }
 
     /// Start a bounded runtime (default scheduler): each shard holds at
@@ -150,20 +163,35 @@ impl ShardedRuntime {
     /// so spawn tasks in dependency order (producers first), which the
     /// builder API yields naturally from a single submitting thread.
     pub fn with_capacity(n: usize, shards: usize, capacity: ShardCapacity) -> Self {
-        ShardedRuntime::with_options(n, shards, SchedulerKind::default(), capacity)
+        ShardedRuntime::with_options(
+            n,
+            shards,
+            SchedulerKind::default(),
+            capacity,
+            WakeMode::default(),
+        )
     }
 
-    /// Start a runtime with every knob explicit.
+    /// Start a runtime with every knob explicit, including how finish
+    /// reports deliver wakes out of the shards ([`WakeMode`]: lock-free
+    /// wake lists by default, the locked kick-off baseline selectable
+    /// for comparison).
     pub fn with_options(
         n: usize,
         shards: usize,
         kind: SchedulerKind,
         capacity: ShardCapacity,
+        wake_mode: WakeMode,
     ) -> Self {
         assert!(n >= 1, "need at least one worker");
         let (sched, handles) = Scheduler::new(kind, n);
         let inner = Arc::new(Inner {
-            dispatcher: ShardDispatcher::with_capacity(shards, &NexusConfig::unbounded(), capacity),
+            dispatcher: ShardDispatcher::with_mode(
+                shards,
+                &NexusConfig::unbounded(),
+                capacity,
+                wake_mode,
+            ),
             sched,
             submitted: AtomicU64::new(0),
             pending: Mutex::new(0),
@@ -202,6 +230,19 @@ impl ShardedRuntime {
     /// Which ready-task scheduler this runtime drives.
     pub fn scheduler_kind(&self) -> SchedulerKind {
         self.inner.sched.kind()
+    }
+
+    /// How this runtime's workers deliver wakes out of the shards.
+    pub fn wake_mode(&self) -> WakeMode {
+        self.inner.dispatcher.wake_mode()
+    }
+
+    /// Wake-path activity counters — records delivered, drain attempts,
+    /// time in the drain step, and the shard-lock acquisitions it
+    /// performed (zero under [`WakeMode::LockFree`]). Exact once
+    /// quiescent — call after [`barrier`](Self::barrier).
+    pub fn wake_counts(&self) -> WakeCounts {
+        self.inner.dispatcher.wake_counts()
     }
 
     /// Scheduler activity counters (steals, parks, …; exact once
@@ -271,9 +312,11 @@ fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Ready>) {
                 .get_or_insert(crate::runtime::panic_msg(&*payload));
         }
         // Retire through the sharded dispatcher: only the shards this
-        // task touched are locked, and the report may carry wakes and
-        // completions drained on behalf of other workers. The whole wake
-        // set is delivered as one batched scheduling operation.
+        // task touched are locked (for table access; wake delivery runs
+        // outside the locks under WakeMode::LockFree), and the report may
+        // carry wakes and completions drained on behalf of other workers.
+        // The whole wake set is delivered as one batched scheduling
+        // operation.
         let report = inner.dispatcher.finish(ticket);
         let completed = report.completed;
         let woken: Vec<(Ready, Priority)> = report

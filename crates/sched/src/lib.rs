@@ -57,6 +57,8 @@
 //! assert_eq!(total, 55);
 //! ```
 
+#![deny(missing_docs)]
+
 mod metrics;
 mod mutex_queue;
 pub mod stress;

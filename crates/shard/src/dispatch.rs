@@ -29,14 +29,65 @@
 //! records were already drained by a concurrent holder skips the lock
 //! entirely. This amortizes locking the way the paper's buffered TP
 //! writes amortize Task Pool port pressure.
+//!
+//! ## Lock-free wake lists (kick-off bypasses the shard lock)
+//!
+//! Finding which tasks a completion makes ready requires the shard lock
+//! (it reads the Dependence Table), but *delivering* those wakes does
+//! not. Under the default [`WakeMode::LockFree`] the ring drain only
+//! collects the woken home records under the lock; the remote decrement,
+//! the payload handoff, and the queueing of the `(task, payload)` wake
+//! record all happen **after the shard lock is released**, posting
+//! lock-free onto the shard's [`PushList`]-based wake list — the software
+//! form of the paper's Maestro pushing kick-off notifications out of the
+//! Dependence Tables without serializing table access. The drain-to-
+//! scheduler step is claimed by a CAS on a per-shard owner flag
+//! (mirroring the rings' whoever-holds-it-drains-everyone protocol): the
+//! claim winner moves every queued record into its [`FinishReport`],
+//! re-checking after release so a record posted during its drain is never
+//! stranded; losers simply skip — their wakes surface in the owner's
+//! report.
+//!
+//! [`WakeMode::Locked`] keeps the pre-lock-free shape — wake records are
+//! queued onto a `VecDeque` kick-off list *under the shard lock* and
+//! handed to the report under a second acquisition — as the measured
+//! baseline of `repro -- wakes` and the `wake_perf` gate.
 
 use crate::engine::route_params;
-use crossbeam::queue::SegQueue;
+use crossbeam::queue::{PushList, SegQueue};
 use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, TdIndex};
 use nexuspp_trace::Param;
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// How a [`ShardDispatcher`] delivers wake records from the shards that
+/// produced them to the finish report that schedules them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WakeMode {
+    /// Kick-off lists are `VecDeque`s inside the shard state: wakes are
+    /// queued while holding the shard lock and drained to the report
+    /// under a second acquisition. The pre-lock-free baseline, kept
+    /// selectable for differential testing and for the `repro -- wakes`
+    /// comparison.
+    Locked,
+    /// Wakes post to a lock-free MPSC [`PushList`] per shard *outside*
+    /// the shard lock; the drain-to-report step is claimed by CAS. The
+    /// finish-side wake path performs zero shard-lock acquisitions.
+    #[default]
+    LockFree,
+}
+
+impl WakeMode {
+    /// Short stable name (table rows, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            WakeMode::Locked => "locked",
+            WakeMode::LockFree => "lock-free",
+        }
+    }
+}
 
 /// The home record of a task in flight.
 #[derive(Debug)]
@@ -102,6 +153,38 @@ impl<P> Default for FinishReport<P> {
 /// One release record: a sub-descriptor to finish, plus its home record.
 type FinRecord<P> = (Arc<Node<P>>, TdIndex);
 
+/// One wake record: a task made ready, with the payload its runner needs.
+type WakeRecord<P> = (Arc<Node<P>>, P);
+
+/// Wake-path activity counters, aggregated across shards (Relaxed
+/// atomics: exact at quiescence, a racy snapshot while finishers run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WakeCounts {
+    /// Wake records handed to finish reports.
+    pub delivered: u64,
+    /// Drain-to-report attempts (one per involved shard per finish).
+    pub deliveries: u64,
+    /// Nanoseconds spent in the drain-to-report step, including any time
+    /// blocked on the shard lock. This is the quantity the lock-free
+    /// wake lists shrink: under [`WakeMode::Locked`] every delivery
+    /// attempt waits behind whoever is resolving on the shard; under
+    /// [`WakeMode::LockFree`] it is an atomic check plus a CAS-claimed
+    /// drain that never waits.
+    pub delivery_ns: u64,
+    /// Shard-lock acquisitions performed by the drain-to-report step.
+    /// Always zero under [`WakeMode::LockFree`] — the acceptance bar of
+    /// the lock-free wake path, asserted in `tests/wake_perf.rs`.
+    pub delivery_lock_acquisitions: u64,
+}
+
+#[derive(Debug, Default)]
+struct WakeMetrics {
+    delivered: AtomicU64,
+    deliveries: AtomicU64,
+    delivery_ns: AtomicU64,
+    delivery_lock_acquisitions: AtomicU64,
+}
+
 /// One shard's bounded-capacity counters at a quiescent point.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CapacityCounts {
@@ -119,6 +202,12 @@ pub struct CapacityCounts {
 struct ShardCell<P> {
     /// Deferred-finish submission ring.
     ring: SegQueue<FinRecord<P>>,
+    /// Lock-free wake list ([`WakeMode::LockFree`]): finishers post wake
+    /// records here without touching `state`'s lock.
+    wakes: PushList<WakeRecord<P>>,
+    /// Drain ownership for `wakes`: claimed by CAS, at most one drainer
+    /// at a time (the single-consumer end of the MPSC list).
+    wake_owner: AtomicBool,
     state: Mutex<ShardState<P>>,
     /// Tasks holding a residency slot here (reserved before admission,
     /// released as each finish record is drained).
@@ -134,6 +223,9 @@ struct ShardState<P> {
     engine: DependencyEngine,
     /// Sub-descriptor index → home record of the owning task.
     owner: Vec<Option<Arc<Node<P>>>>,
+    /// Locked-mode kick-off list ([`WakeMode::Locked`]): wake records
+    /// queued under the shard lock, drained under a second acquisition.
+    kickoff: VecDeque<WakeRecord<P>>,
 }
 
 /// N dependency engines behind per-shard locks, aggregating readiness
@@ -142,6 +234,8 @@ struct ShardState<P> {
 pub struct ShardDispatcher<P> {
     shards: Box<[ShardCell<P>]>,
     capacity: ShardCapacity,
+    wake_mode: WakeMode,
+    wake_metrics: WakeMetrics,
 }
 
 impl<P> ShardDispatcher<P> {
@@ -167,6 +261,17 @@ impl<P> ShardDispatcher<P> {
     /// down to capacity 1, because a parked submitter holds no slots and
     /// every resident task can eventually run.
     pub fn with_capacity(n_shards: usize, cfg: &NexusConfig, capacity: ShardCapacity) -> Self {
+        ShardDispatcher::with_mode(n_shards, cfg, capacity, WakeMode::default())
+    }
+
+    /// Build a dispatcher with every knob explicit, including the wake
+    /// delivery mode (see [`WakeMode`]; the default is lock-free).
+    pub fn with_mode(
+        n_shards: usize,
+        cfg: &NexusConfig,
+        capacity: ShardCapacity,
+        wake_mode: WakeMode,
+    ) -> Self {
         assert!(n_shards >= 1, "need at least one shard");
         assert!(
             cfg.growable,
@@ -178,9 +283,12 @@ impl<P> ShardDispatcher<P> {
             shards: (0..n_shards)
                 .map(|_| ShardCell {
                     ring: SegQueue::new(),
+                    wakes: PushList::new(),
+                    wake_owner: AtomicBool::new(false),
                     state: Mutex::new(ShardState {
                         engine: DependencyEngine::new(cfg),
                         owner: Vec::new(),
+                        kickoff: VecDeque::new(),
                     }),
                     resident: AtomicU32::new(0),
                     park: Mutex::new(()),
@@ -190,6 +298,8 @@ impl<P> ShardDispatcher<P> {
                 })
                 .collect(),
             capacity,
+            wake_mode,
+            wake_metrics: WakeMetrics::default(),
         }
     }
 
@@ -201,6 +311,38 @@ impl<P> ShardDispatcher<P> {
     /// The per-shard residency bound this dispatcher enforces.
     pub fn capacity(&self) -> ShardCapacity {
         self.capacity
+    }
+
+    /// The wake delivery mode this dispatcher runs.
+    pub fn wake_mode(&self) -> WakeMode {
+        self.wake_mode
+    }
+
+    /// Wake-path activity counters (see [`WakeCounts`]; exact at
+    /// quiescence).
+    pub fn wake_counts(&self) -> WakeCounts {
+        WakeCounts {
+            delivered: self.wake_metrics.delivered.load(Ordering::Relaxed),
+            deliveries: self.wake_metrics.deliveries.load(Ordering::Relaxed),
+            delivery_ns: self.wake_metrics.delivery_ns.load(Ordering::Relaxed),
+            delivery_lock_acquisitions: self
+                .wake_metrics
+                .delivery_lock_acquisitions
+                .load(Ordering::Relaxed),
+        }
+    }
+
+    /// Undelivered wake records queued per shard (diagnostics; racy while
+    /// finishers run, exact at quiescence — zero once every finish report
+    /// has been consumed).
+    pub fn wake_list_depths(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|c| match self.wake_mode {
+                WakeMode::LockFree => c.wakes.len(),
+                WakeMode::Locked => c.state.lock().kickoff.len(),
+            })
+            .collect()
     }
 
     /// Per-shard stall/retry counters (exact at quiescence; counters use
@@ -364,17 +506,48 @@ impl<P> ShardDispatcher<P> {
         report
     }
 
-    /// Drain one shard's ring under its lock. Skips entirely when a
-    /// concurrent holder already consumed every queued record. Each
+    /// Drain one shard's ring (under its lock) and then deliver the
+    /// shard's queued wakes. The ring drain skips entirely when a
+    /// concurrent holder already consumed every queued record; each
     /// drained record releases one residency slot — the shard's "finish
-    /// report" a parked submitter resumes on.
+    /// report" a parked submitter resumes on. Wake delivery always runs:
+    /// this finisher's wakes may be sitting on the list even when its
+    /// ring records were drained by someone else.
     fn drain_shard(&self, s: usize, report: &mut FinishReport<P>) {
-        let cell = &self.shards[s];
-        if cell.ring.is_empty() {
-            // A concurrent lock holder drained our records (and reported
-            // their wakes/completions); nothing left to do here.
+        if !self.shards[s].ring.is_empty() {
+            match self.wake_mode {
+                WakeMode::Locked => self.drain_ring_locked(s, report),
+                WakeMode::LockFree => self.drain_ring_lock_free(s, report),
+            }
+        }
+        let m = &self.wake_metrics;
+        m.deliveries.fetch_add(1, Ordering::Relaxed);
+        if self.wake_mode == WakeMode::LockFree && self.shards[s].wakes.is_empty() {
+            // The lock-free fast path: one atomic load proves there is
+            // nothing to deliver anywhere, so the step costs nothing and
+            // is not timed. (This is the same emptiness check the claim
+            // loop starts with, hoisted; the locked mode has no such
+            // path — it must take the shard lock just to look.)
             return;
         }
+        let before = report.woken.len();
+        let t0 = std::time::Instant::now();
+        match self.wake_mode {
+            WakeMode::Locked => self.deliver_wakes_locked(s, report),
+            WakeMode::LockFree => self.deliver_wakes_lock_free(s, report),
+        }
+        m.delivery_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        m.delivered
+            .fetch_add((report.woken.len() - before) as u64, Ordering::Relaxed);
+    }
+
+    /// Locked-mode ring drain: resolution *and* wake queueing happen
+    /// under the shard lock — each ready task's remote decrement, payload
+    /// handoff, and kick-off enqueue extend the critical section every
+    /// submitter and finisher contends on.
+    fn drain_ring_locked(&self, s: usize, report: &mut FinishReport<P>) {
+        let cell = &self.shards[s];
         let mut drained = 0u32;
         let mut st = cell.state.lock();
         while let Some((node, td)) = cell.ring.pop() {
@@ -392,7 +565,7 @@ impl<P> ShardDispatcher<P> {
                         .lock()
                         .take()
                         .expect("ready task must hold its payload");
-                    report.woken.push((TaskTicket(wnode), payload));
+                    st.kickoff.push_back((wnode, payload));
                 }
             }
             if node.parts_left.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -402,6 +575,101 @@ impl<P> ShardDispatcher<P> {
         drop(st);
         if drained > 0 && self.capacity.is_bounded() {
             self.release_slots(s, drained);
+        }
+    }
+
+    /// Lock-free-mode ring drain: the lock covers only table access (the
+    /// engine release and the owner lookup of each woken sub-descriptor).
+    /// Everything wake-shaped — remote decrements, payload handoffs, the
+    /// wake-list posts — happens after the lock is dropped.
+    fn drain_ring_lock_free(&self, s: usize, report: &mut FinishReport<P>) {
+        let cell = &self.shards[s];
+        let mut drained = 0u32;
+        let mut woken_nodes: Vec<Arc<Node<P>>> = Vec::new();
+        let mut st = cell.state.lock();
+        while let Some((node, td)) = cell.ring.pop() {
+            let fin = st.engine.finish(td);
+            st.owner[td.0 as usize] = None;
+            drained += 1;
+            for woken in fin.newly_ready {
+                woken_nodes.push(
+                    st.owner[woken.0 as usize]
+                        .as_ref()
+                        .expect("woken sub-descriptor must have an owner")
+                        .clone(),
+                );
+            }
+            if node.parts_left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                report.completed += 1;
+            }
+        }
+        drop(st);
+        // Post wakes lock-free. Exactly one decrement per woken slice
+        // (same as the locked path), and exactly one thread — whoever
+        // performs the transition to zero — takes the payload and posts.
+        for wnode in woken_nodes {
+            if wnode.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let payload = wnode
+                    .payload
+                    .lock()
+                    .take()
+                    .expect("ready task must hold its payload");
+                cell.wakes.push((wnode, payload));
+            }
+        }
+        if drained > 0 && self.capacity.is_bounded() {
+            self.release_slots(s, drained);
+        }
+    }
+
+    /// Locked-mode wake delivery: the kick-off `VecDeque` lives inside
+    /// the shard state, so handing records to the report costs a second
+    /// shard-lock acquisition (and blocks behind whoever is resolving).
+    fn deliver_wakes_locked(&self, s: usize, report: &mut FinishReport<P>) {
+        self.wake_metrics
+            .delivery_lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        let mut st = self.shards[s].state.lock();
+        while let Some((node, payload)) = st.kickoff.pop_front() {
+            report.woken.push((TaskTicket(node), payload));
+        }
+    }
+
+    /// Lock-free-mode wake delivery: claim drain ownership by CAS (the
+    /// wake list is MPSC — one consumer at a time), move every queued
+    /// record into the report, release, and re-check. The re-check after
+    /// release is the lost-wake guard: a finisher that posted during our
+    /// drain and failed its own claim is guaranteed (SeqCst push before
+    /// failed SeqCst claim, claim before our release) to have its record
+    /// visible to this loop's next `is_empty`, so every posted wake is
+    /// delivered by the poster or by a current-or-future owner. Never
+    /// touches the shard lock.
+    fn deliver_wakes_lock_free(&self, s: usize, report: &mut FinishReport<P>) {
+        let cell = &self.shards[s];
+        loop {
+            if cell.wakes.is_empty() {
+                return;
+            }
+            if cell.wake_owner.swap(true, Ordering::SeqCst) {
+                // A concurrent owner is draining; it re-checks after
+                // releasing, so our records cannot be stranded.
+                return;
+            }
+            let before = report.woken.len();
+            for (node, payload) in cell.wakes.drain() {
+                report.woken.push((TaskTicket(node), payload));
+            }
+            cell.wake_owner.store(false, Ordering::SeqCst);
+            if report.woken.len() == before {
+                // Counted but not yet published: the list's length is
+                // incremented before the head CAS, so a non-empty check
+                // can race a push that has no node linked yet. Returning
+                // here could strand that record (its poster may have
+                // already lost the claim to us), so keep looping — but
+                // hand the publisher the CPU instead of hot-claiming an
+                // empty chain.
+                std::thread::yield_now();
+            }
         }
     }
 
@@ -440,21 +708,35 @@ mod tests {
 
     #[test]
     fn chain_wakes_in_dependency_order() {
-        let d = dispatcher(4);
-        let mut ready = Vec::new();
-        let r0 = d.submit(1, 0, &[Param::output(0xA0, 4)], 0);
-        if let Some(p) = r0.ready {
-            ready.push((r0.ticket, p));
+        for mode in [WakeMode::Locked, WakeMode::LockFree] {
+            let d = ShardDispatcher::with_mode(
+                4,
+                &NexusConfig::unbounded(),
+                ShardCapacity::Unbounded,
+                mode,
+            );
+            let mut ready = Vec::new();
+            let r0 = d.submit(1, 0, &[Param::output(0xA0, 4)], 0);
+            if let Some(p) = r0.ready {
+                ready.push((r0.ticket, p));
+            }
+            let r1 = d.submit(1, 1, &[Param::input(0xA0, 4), Param::output(0xB0, 4)], 1);
+            assert!(r1.ready.is_none(), "t1 depends on t0");
+            let r2 = d.submit(1, 2, &[Param::input(0xB0, 4)], 2);
+            assert!(r2.ready.is_none(), "t2 depends on t1");
+            drop((r1.ticket, r2.ticket)); // tickets resurface via woken
+            let (completed, order) = drain(&d, ready);
+            assert_eq!(completed, 3, "{}", mode.name());
+            assert_eq!(order, vec![0, 1, 2], "{}", mode.name());
+            assert_eq!(d.sub_descriptors_in_flight(), 0);
+            let counts = d.wake_counts();
+            assert_eq!(counts.delivered, 2, "{}: two dependents woken", mode.name());
+            assert!(d.wake_list_depths().iter().all(|&n| n == 0));
+            match mode {
+                WakeMode::Locked => assert!(counts.delivery_lock_acquisitions > 0),
+                WakeMode::LockFree => assert_eq!(counts.delivery_lock_acquisitions, 0),
+            }
         }
-        let r1 = d.submit(1, 1, &[Param::input(0xA0, 4), Param::output(0xB0, 4)], 1);
-        assert!(r1.ready.is_none(), "t1 depends on t0");
-        let r2 = d.submit(1, 2, &[Param::input(0xB0, 4)], 2);
-        assert!(r2.ready.is_none(), "t2 depends on t1");
-        drop((r1.ticket, r2.ticket)); // tickets resurface via woken
-        let (completed, order) = drain(&d, ready);
-        assert_eq!(completed, 3);
-        assert_eq!(order, vec![0, 1, 2]);
-        assert_eq!(d.sub_descriptors_in_flight(), 0);
     }
 
     #[test]
@@ -608,9 +890,20 @@ mod tests {
 
     #[test]
     fn concurrent_producer_consumer_fanout() {
+        for mode in [WakeMode::Locked, WakeMode::LockFree] {
+            concurrent_producer_consumer_fanout_in(mode);
+        }
+    }
+
+    fn concurrent_producer_consumer_fanout_in(mode: WakeMode) {
         // One producer address per thread-pair; consumers park until the
         // producer finishes, then surface through some finisher's report.
-        let d = Arc::new(ShardDispatcher::<u64>::new(4, &NexusConfig::unbounded()));
+        let d = Arc::new(ShardDispatcher::<u64>::with_mode(
+            4,
+            &NexusConfig::unbounded(),
+            ShardCapacity::Unbounded,
+            mode,
+        ));
         let woken_total = Arc::new(AtomicU64::new(0));
         let completed_total = Arc::new(AtomicU64::new(0));
         const PAIRS: u64 = 8;
@@ -652,5 +945,10 @@ mod tests {
             PAIRS * (CONSUMERS + 1)
         );
         assert_eq!(d.sub_descriptors_in_flight(), 0);
+        assert_eq!(d.wake_counts().delivered, PAIRS * CONSUMERS);
+        assert!(
+            d.wake_list_depths().iter().all(|&n| n == 0),
+            "every posted wake must be delivered by quiescence"
+        );
     }
 }

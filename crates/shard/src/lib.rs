@@ -30,8 +30,16 @@
 //!   shard lock drains, so one lock acquisition retires many completions
 //!   under contention. Cross-shard readiness is aggregated with atomic
 //!   counters (a submission guard prevents half-submitted tasks from
-//!   being scheduled). This is what `ShardedRuntime` in `nexuspp-runtime`
+//!   being scheduled), and wake delivery bypasses the shard lock
+//!   entirely: ready tasks post to a lock-free MPSC wake list per shard
+//!   and a CAS-claimed drainer hands them to the finish report (see
+//!   [`WakeMode`]). This is what `ShardedRuntime` in `nexuspp-runtime`
 //!   executes on.
+//! * [`stress`] — the wake-stress harness: the wide fan-in workload
+//!   (many finishers releasing dependents homed on one shard) driven
+//!   straight through a [`ShardDispatcher`] by real threads, shared by
+//!   the `wake_perf` acceptance gate, the `wake_delivery` criterion
+//!   bench, and the `repro -- wakes` experiment.
 //!
 //! Related work motivating the direction: Álvarez et al., *Advanced
 //! Synchronization Techniques for Task-based Runtime Systems*
@@ -41,10 +49,15 @@
 //! Algorithms* (arXiv:1401.4441) — centralized dependency handling
 //! serializes otherwise-parallel workloads.
 
+#![deny(missing_docs)]
+
 pub mod dispatch;
 pub mod engine;
+pub mod stress;
 
-pub use dispatch::{CapacityCounts, FinishReport, ShardDispatcher, SubmitResult, TaskTicket};
+pub use dispatch::{
+    CapacityCounts, FinishReport, ShardDispatcher, SubmitResult, TaskTicket, WakeCounts, WakeMode,
+};
 pub use engine::{
     BoundedBatch, OpBreakdown, ShardRejection, ShardedCheck, ShardedEngine, ShardedFinish, TaskId,
 };

@@ -1,0 +1,234 @@
+//! The wake-stress harness: a wide fan-in workload driven straight
+//! through a [`ShardDispatcher`] by real finisher threads, shared by the
+//! `wake_perf` acceptance gate, the `wake_delivery` criterion bench and
+//! the `repro -- wakes` experiment.
+//!
+//! Shape (mirroring `nexuspp_workloads::wake_stress`, which generates the
+//! same DAG as an address trace): `producers` independent writer tasks
+//! whose addresses all land on **one** shard, each with `consumers_per`
+//! reader tasks parked on its address. Every producer completion
+//! therefore releases a burst of dependents homed on the same hot shard —
+//! many finishers hammering one shard's kick-off path at once, which is
+//! exactly the traffic the lock-free wake lists exist for. Under
+//! [`WakeMode::Locked`] each finish queues its burst onto the kick-off
+//! `VecDeque` while holding the hot shard's lock and pays a second
+//! acquisition to hand records to the report; under
+//! [`WakeMode::LockFree`] the burst posts outside the lock and delivery
+//! is a CAS claim, so finishers that lose a race skip instead of
+//! blocking.
+//!
+//! Payloads are `u64` tags; "executing" a task costs nothing, so
+//! measured wall-clock is almost pure resolution + wake delivery —
+//! exactly the path this comparison isolates.
+
+use crate::dispatch::{ShardDispatcher, TaskTicket, WakeCounts, WakeMode};
+use nexuspp_core::{nth_addr_on_shard, NexusConfig};
+use nexuspp_trace::Param;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Parameters of the wake-stress run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeStressSpec {
+    /// Finisher threads (the "workers" retiring tasks concurrently).
+    pub finishers: usize,
+    /// Independent producer tasks, all homed on the hot shard.
+    pub producers: u32,
+    /// Dependent reader tasks parked on each producer's address.
+    pub consumers_per: u32,
+    /// Shards in the dispatcher (every task lives on shard 0; the rest
+    /// exist to keep the address routing honest).
+    pub shards: usize,
+}
+
+impl WakeStressSpec {
+    /// A spec sized for `finishers` concurrent finisher threads with a
+    /// wake burst of `consumers_per` per completion.
+    pub fn for_finishers(finishers: usize, producers: u32, consumers_per: u32) -> Self {
+        WakeStressSpec {
+            finishers,
+            producers,
+            consumers_per,
+            shards: 4,
+        }
+    }
+
+    /// Total tasks (producers plus all consumers).
+    pub fn task_count(&self) -> u64 {
+        self.producers as u64 * (1 + self.consumers_per as u64)
+    }
+
+    /// Wake records the hot shard must deliver (one per consumer).
+    pub fn wake_count(&self) -> u64 {
+        self.producers as u64 * self.consumers_per as u64
+    }
+
+    /// Producer `p`'s address: the `p`-th address homed on shard 0 of
+    /// [`shards`](Self::shards) — the same address
+    /// `nexuspp_workloads::wake_stress` aims at (both delegate to
+    /// [`nth_addr_on_shard`]).
+    pub fn producer_addr(&self, p: u32) -> u64 {
+        nth_addr_on_shard(0, self.shards, p)
+    }
+}
+
+/// Outcome of one wake-stress run.
+#[derive(Debug, Clone)]
+pub struct WakeRun {
+    /// Wall-clock of the finish storm (submission excluded — it is
+    /// identical under both wake modes).
+    pub elapsed: Duration,
+    /// Tasks retired (producers + consumers; must equal
+    /// [`WakeStressSpec::task_count`]).
+    pub completed: u64,
+    /// Wake records delivered through finish reports (must equal
+    /// [`WakeStressSpec::wake_count`]).
+    pub woken: u64,
+    /// The dispatcher's wake-path counters at quiescence — delivery
+    /// time (the gated quantity) and delivery lock acquisitions (zero
+    /// under [`WakeMode::LockFree`]).
+    pub wake_counts: WakeCounts,
+}
+
+impl WakeRun {
+    /// Delivered wakes per second.
+    pub fn wakes_per_sec(&self) -> f64 {
+        self.woken as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Time spent in the drain-to-report wake delivery step.
+    pub fn delivery_time(&self) -> Duration {
+        Duration::from_nanos(self.wake_counts.delivery_ns)
+    }
+}
+
+/// Run the workload to completion under `mode` and report. Panics if any
+/// task is lost or duplicated (the differential suites guard semantics;
+/// here it protects the measurement).
+pub fn run_wake_stress(mode: WakeMode, spec: &WakeStressSpec) -> WakeRun {
+    assert!(spec.finishers >= 1 && spec.producers >= 1);
+    let d = Arc::new(ShardDispatcher::<u64>::with_mode(
+        spec.shards,
+        &NexusConfig::unbounded(),
+        nexuspp_core::ShardCapacity::Unbounded,
+        mode,
+    ));
+    // Submit every producer (independent: ready at once) and park every
+    // consumer behind its producer's address.
+    let mut ready: Vec<(TaskTicket<u64>, u64)> = Vec::with_capacity(spec.producers as usize);
+    for p in 0..spec.producers {
+        let addr = spec.producer_addr(p);
+        let r = d.submit(1, p as u64, &[Param::output(addr, 16)], p as u64);
+        ready.push((r.ticket, r.ready.expect("producers are independent")));
+        for c in 0..spec.consumers_per {
+            let tag = 1000 + p as u64 * spec.consumers_per as u64 + c as u64;
+            let r = d.submit(1, tag, &[Param::input(addr, 16)], tag);
+            assert!(r.ready.is_none(), "consumers must park on their producer");
+            drop(r.ticket); // resurfaces via some finisher's report
+        }
+    }
+    // The finish storm: split the ready producers across finisher
+    // threads; every thread also retires whatever wakes surface in its
+    // own reports (consumers whose finish feeds the same hot shard).
+    let completed = Arc::new(AtomicU64::new(0));
+    let woken = Arc::new(AtomicU64::new(0));
+    let shares = Arc::new(Mutex::new(split_shares(ready, spec.finishers)));
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..spec.finishers)
+        .map(|_| {
+            let d = Arc::clone(&d);
+            let completed = Arc::clone(&completed);
+            let woken = Arc::clone(&woken);
+            let shares = Arc::clone(&shares);
+            std::thread::spawn(move || {
+                let mut queue = shares.lock().unwrap().pop().expect("one share per thread");
+                while let Some((ticket, _tag)) = queue.pop() {
+                    let report = d.finish(ticket);
+                    completed.fetch_add(report.completed, Ordering::Relaxed);
+                    woken.fetch_add(report.woken.len() as u64, Ordering::Relaxed);
+                    queue.extend(report.woken);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    let completed = completed.load(Ordering::Relaxed);
+    let woken = woken.load(Ordering::Relaxed);
+    assert_eq!(completed, spec.task_count(), "lost or duplicated tasks");
+    assert_eq!(woken, spec.wake_count(), "lost or duplicated wakes");
+    assert_eq!(d.sub_descriptors_in_flight(), 0, "leaked sub-descriptors");
+    assert!(
+        d.wake_list_depths().iter().all(|&n| n == 0),
+        "undelivered wakes left on a shard list"
+    );
+    WakeRun {
+        elapsed,
+        completed,
+        woken,
+        wake_counts: d.wake_counts(),
+    }
+}
+
+/// Best (minimum **wake-delivery time**) over `runs` repetitions.
+pub fn best_of(mode: WakeMode, spec: &WakeStressSpec, runs: u32) -> WakeRun {
+    let mut best: Option<WakeRun> = None;
+    for _ in 0..runs {
+        let r = run_wake_stress(mode, spec);
+        if best
+            .as_ref()
+            .is_none_or(|b| r.wake_counts.delivery_ns < b.wake_counts.delivery_ns)
+        {
+            best = Some(r);
+        }
+    }
+    best.expect("runs >= 1")
+}
+
+/// Deal `ready` round-robin into `n` shares (every thread gets within
+/// one producer of every other).
+fn split_shares<T>(ready: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let mut shares: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    for (i, item) in ready.into_iter().enumerate() {
+        shares[i % n].push(item);
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_modes_retire_every_task_and_wake() {
+        let spec = WakeStressSpec {
+            finishers: 4,
+            producers: 16,
+            consumers_per: 8,
+            shards: 4,
+        };
+        for mode in [WakeMode::Locked, WakeMode::LockFree] {
+            let r = run_wake_stress(mode, &spec);
+            assert_eq!(r.completed, spec.task_count(), "{}", mode.name());
+            assert_eq!(r.woken, spec.wake_count(), "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn producer_addresses_all_home_on_shard_zero() {
+        let spec = WakeStressSpec::for_finishers(4, 32, 4);
+        for p in 0..spec.producers {
+            assert_eq!(
+                nexuspp_core::shard_of_addr(spec.producer_addr(p), spec.shards),
+                0
+            );
+        }
+        // Distinct producers get distinct addresses.
+        let a: Vec<u64> = (0..spec.producers).map(|p| spec.producer_addr(p)).collect();
+        let set: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(set.len(), a.len());
+    }
+}

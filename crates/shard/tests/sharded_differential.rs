@@ -23,13 +23,13 @@
 use nexuspp_core::engine::CheckProgress;
 use nexuspp_core::oracle::OracleResolver;
 use nexuspp_core::pool::PoolError;
-use nexuspp_core::{DependencyEngine, NexusConfig, TdIndex};
+use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, TdIndex};
 use nexuspp_desim::Rng;
-use nexuspp_shard::{ShardedCheck, ShardedEngine, TaskId};
+use nexuspp_shard::{ShardDispatcher, ShardedCheck, ShardedEngine, TaskId, TaskTicket, WakeMode};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use proptest::prelude::*;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 #[derive(Debug, Clone)]
 struct GenTask {
@@ -223,6 +223,88 @@ fn run_differential(tasks: &[GenTask], cfg: &NexusConfig, n_shards: usize, seed:
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
+/// Both wake modes of the concurrent dispatcher, driven in lockstep
+/// against the oracle: locked kick-off lists and lock-free wake lists
+/// must produce identical ready sets at every stable point. Driven
+/// single-threadedly so every wake a finish produces must surface in
+/// that same call's report (post + self-drain) — the strictest
+/// equivalence the decoupled wake path can be held to.
+fn run_dispatcher_differential(tasks: &[GenTask], n_shards: usize, seed: u64) {
+    let cfg = NexusConfig::unbounded();
+    let locked = ShardDispatcher::<u64>::with_mode(
+        n_shards,
+        &cfg,
+        ShardCapacity::Unbounded,
+        WakeMode::Locked,
+    );
+    let lock_free = ShardDispatcher::<u64>::with_mode(
+        n_shards,
+        &cfg,
+        ShardCapacity::Unbounded,
+        WakeMode::LockFree,
+    );
+    let mut oracle = OracleResolver::new();
+    let mut rng = Rng::new(seed);
+    // tag → ticket, for each mode; the key set is the mode's ready set.
+    let mut ready: [BTreeMap<u64, TaskTicket<u64>>; 2] = [BTreeMap::new(), BTreeMap::new()];
+
+    let assert_match =
+        |ready: &[BTreeMap<u64, TaskTicket<u64>>; 2], oracle: &OracleResolver, context: &str| {
+            let oracle_ready: BTreeSet<u64> =
+                oracle.ready_set().into_iter().map(|i| i as u64).collect();
+            for (m, name) in [(0, "locked"), (1, "lock-free")] {
+                let got: BTreeSet<u64> = ready[m].keys().copied().collect();
+                assert_eq!(got, oracle_ready, "{name} dispatcher diverges {context}");
+            }
+        };
+
+    let finish_one = |ready: &mut [BTreeMap<u64, TaskTicket<u64>>; 2],
+                      oracle: &mut OracleResolver,
+                      rng: &mut Rng| {
+        let candidates: Vec<u64> = ready[0].keys().copied().collect();
+        assert!(!candidates.is_empty(), "nothing ready (deadlock)");
+        let pick = candidates[rng.gen_range(candidates.len() as u64) as usize];
+        for (m, d) in [(0, &locked), (1, &lock_free)] {
+            let ticket = ready[m].remove(&pick).expect("ready sets agreed");
+            let report = d.finish(ticket);
+            for (t, payload) in report.woken {
+                assert_eq!(t.tag(), payload, "payload must travel with its task");
+                ready[m].insert(payload, t);
+            }
+        }
+        oracle.finish(pick as usize);
+    };
+
+    for (tag, task) in tasks.iter().enumerate() {
+        let tag = tag as u64;
+        for (m, d) in [(0usize, &locked), (1, &lock_free)] {
+            let r = d.submit(0xF, tag, &task.params, tag);
+            if let Some(p) = r.ready {
+                assert_eq!(p, tag);
+                ready[m].insert(tag, r.ticket);
+            }
+            // Parked tickets resurface through some report's woken list.
+        }
+        let (oid, _) = oracle.submit(&task.params);
+        assert_eq!(oid as u64, tag);
+        assert_match(&ready, &oracle, &format!("after submitting task {tag}"));
+    }
+    while !ready[0].is_empty() {
+        finish_one(&mut ready, &mut oracle, &mut rng);
+        assert_match(&ready, &oracle, "during drain");
+    }
+    assert!(oracle.all_done(), "oracle has unfinished tasks");
+    for d in [&locked, &lock_free] {
+        assert_eq!(d.sub_descriptors_in_flight(), 0);
+        assert!(d.wake_list_depths().iter().all(|&n| n == 0));
+    }
+    assert_eq!(
+        locked.wake_counts().delivered,
+        lock_free.wake_counts().delivered,
+        "both modes must deliver exactly the same number of wakes"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -256,6 +338,19 @@ proptest! {
         };
         for n in SHARD_COUNTS {
             run_differential(&tasks, &cfg, n, seed);
+        }
+    }
+
+    /// The concurrent dispatcher's wake modes: locked kick-off lists and
+    /// lock-free wake lists agree with the oracle (and hence with each
+    /// other and the engines above) on every ready set.
+    #[test]
+    fn dispatcher_wake_modes_match_oracle(
+        tasks in prop::collection::vec(task_strategy(10, 5), 1..40),
+        seed in any::<u64>(),
+    ) {
+        for n in SHARD_COUNTS {
+            run_dispatcher_differential(&tasks, n, seed);
         }
     }
 

@@ -24,8 +24,16 @@
 //!   `batch` consecutive tasks coalesce into a single job per involved
 //!   shard, paying one base per shard per batch instead of one per task.
 //! * A finished task likewise issues one **finish job** per involved
-//!   shard from its worker's request line; its wake-ups are released when
-//!   the last involved shard completes.
+//!   shard from its worker's request line.
+//! * Each shard owns a **kick-off FIFO** — a separate, *non-arbitrated*
+//!   resource modeling the lock-free wake lists of the software
+//!   dispatcher (`nexuspp_shard::dispatch`) and the paper Maestro's
+//!   kick-off delivery: when a shard's finish job completes, the tasks
+//!   that release made ready enter that shard's FIFO immediately (no
+//!   crossbar grant, no shard occupancy) and drain serially at
+//!   [`MultiMaestroConfig::kickoff_cycles`] per wake. Per-shard peak
+//!   depths and delivery counts are reported — the fan-in pressure
+//!   `repro -- wakes` sweeps.
 //! * Worker cores execute ready tasks for their trace `exec` time;
 //!   memory modeling is out of scope here (use `machine` for that).
 //!
@@ -62,6 +70,10 @@ pub struct MultiMaestroConfig {
     pub submit_base: u64,
     /// Fixed cycles per finish job (Handle Finished base).
     pub finish_base: u64,
+    /// Cycles each kick-off notification spends leaving a shard's wake
+    /// FIFO (the FIFO is non-arbitrated: delivery occupies neither the
+    /// crossbar nor the shard, only the FIFO's own serial drain port).
+    pub kickoff_cycles: u64,
     /// Per-shard SRAM timing.
     pub sram: SramTiming,
     /// Nexus++ clock domain.
@@ -90,6 +102,7 @@ impl Default for MultiMaestroConfig {
             prep_time: SimTime::from_ns(30),
             submit_base: 4,
             finish_base: 6,
+            kickoff_cycles: 1,
             sram: SramTiming::default(),
             clock: Clock::from_mhz(NEXUS_CLOCK_MHZ),
             nexus: NexusConfig::unbounded(),
@@ -127,6 +140,7 @@ impl MultiMaestroConfig {
         assert!(self.workers >= 1, "need at least one worker");
         assert!(self.batch >= 1, "batch must be >= 1");
         assert!(self.window >= self.batch, "window must cover one batch");
+        assert!(self.kickoff_cycles >= 1, "kick-off delivery needs a cycle");
         assert!(
             self.nexus.growable,
             "multi-Maestro mode virtualizes table storage; use a growable NexusConfig \
@@ -169,6 +183,13 @@ pub struct MultiMaestroReport {
     /// `shard_stalls` element-wise once the run drains — every stall is
     /// eventually resolved).
     pub shard_retries_resolved: Vec<u64>,
+    /// Deepest each shard's kick-off wake FIFO got: how many ready tasks
+    /// were queued for delivery at once (wide fan-in piles wakes onto the
+    /// producer's home shard).
+    pub shard_wake_peak: Vec<usize>,
+    /// Kick-off notifications delivered per shard (every task that was
+    /// not ready at submission is delivered exactly once).
+    pub shard_wakes_delivered: Vec<u64>,
 }
 
 impl MultiMaestroReport {
@@ -205,6 +226,8 @@ enum Ev {
     ShardDone(u32),
     /// Worker `w` finished executing its task.
     ExecDone(u32),
+    /// Shard `s`'s kick-off FIFO delivered its front wake.
+    WakeDone(u32),
 }
 
 /// A buffered submission awaiting its batch flush: home record, its
@@ -216,8 +239,11 @@ type BufferedSubmit = (TaskId, bool, Vec<(u32, u64)>);
 enum PhaseKind {
     /// A submission batch: release each member that checked ready.
     Submit { members: Vec<(TaskId, bool)> },
-    /// A task completion: count it and release its wake-ups.
-    Finish { newly: Vec<TaskId> },
+    /// A task completion: count it at phase completion. Its wake-ups do
+    /// not wait for the phase — each involved shard's slice-release
+    /// wakes (`wakes`, per shard) enter that shard's kick-off FIFO the
+    /// moment *that shard's* finish job completes.
+    Finish { wakes: Vec<(u32, Vec<TaskId>)> },
 }
 
 #[derive(Debug)]
@@ -268,6 +294,15 @@ struct Sim<'t> {
     current: Vec<Option<Job>>,
     busy: Vec<BusyTracker>,
     peak_queue: usize,
+    // Kick-off FIFOs: one per shard, non-arbitrated, serial drain.
+    wake_fifo: Vec<VecDeque<TaskId>>,
+    wake_busy: Vec<bool>,
+    wake_peak: Vec<usize>,
+    wakes_delivered: Vec<u64>,
+    /// Tasks whose check found unresolved dependencies: each must be
+    /// delivered through some kick-off FIFO exactly once (asserted at
+    /// drain).
+    kickoffs_expected: u64,
     // Workers.
     ready: VecDeque<TaskId>,
     free_workers: Vec<u32>,
@@ -304,6 +339,11 @@ impl<'t> Sim<'t> {
             current: vec![None; s],
             busy: (0..s).map(|_| BusyTracker::new()).collect(),
             peak_queue: 0,
+            wake_fifo: (0..s).map(|_| VecDeque::new()).collect(),
+            wake_busy: vec![false; s],
+            wake_peak: vec![0; s],
+            wakes_delivered: vec![0; s],
+            kickoffs_expected: 0,
             ready: VecDeque::new(),
             free_workers: (0..cfg.workers as u32).rev().collect(),
             running: vec![None; cfg.workers],
@@ -432,6 +472,9 @@ impl<'t> Sim<'t> {
             ShardedCheck::Done { ready, cost } => (ready, cost),
             ShardedCheck::Stalled { .. } => unreachable!("growable engine cannot stall"),
         };
+        if !ready {
+            self.kickoffs_expected += 1;
+        }
         let exec = rec.exec;
         let m = self.meta_mut(id);
         *m = Meta {
@@ -503,15 +546,70 @@ impl<'t> Sim<'t> {
 
     fn on_shard_done(&mut self, s: usize) {
         let job = self.current[s].take().expect("ShardDone while idle");
-        let done = {
+        let (kickoff, done) = {
             let phase = self.phases[job.phase].as_mut().expect("live phase");
             phase.jobs_left -= 1;
-            phase.jobs_left == 0
+            // A finish job's completion is the moment this shard's slice
+            // release lands: its wakes enter the kick-off FIFO now, not
+            // at whole-phase completion.
+            let kickoff = match &mut phase.kind {
+                PhaseKind::Finish { wakes } => wakes
+                    .iter()
+                    .position(|(g, _)| *g as usize == s)
+                    .map(|i| wakes.swap_remove(i).1),
+                PhaseKind::Submit { .. } => None,
+            };
+            (kickoff, phase.jobs_left == 0)
         };
+        if let Some(wakes) = kickoff {
+            self.post_kickoff(s, wakes);
+        }
         if done {
             self.complete_phase(job.phase);
         }
         self.poll_shard(s);
+    }
+
+    /// Queue `wakes` on shard `s`'s kick-off FIFO and start its serial
+    /// drain if idle. The FIFO is non-arbitrated: posting costs no shard
+    /// or crossbar time, only the per-wake drain latency.
+    fn post_kickoff(&mut self, s: usize, wakes: Vec<TaskId>) {
+        if wakes.is_empty() {
+            return;
+        }
+        let fifo = &mut self.wake_fifo[s];
+        fifo.extend(wakes);
+        if fifo.len() > self.wake_peak[s] {
+            self.wake_peak[s] = fifo.len();
+        }
+        if !self.wake_busy[s] {
+            self.wake_busy[s] = true;
+            self.sched.schedule(
+                self.cfg.clock.cycles(self.cfg.kickoff_cycles),
+                Ev::WakeDone(s as u32),
+            );
+        }
+    }
+
+    fn on_wake_done(&mut self, s: usize) {
+        let id = self.wake_fifo[s]
+            .pop_front()
+            .expect("WakeDone on an empty kick-off FIFO");
+        self.wakes_delivered[s] += 1;
+        let m = self.meta_mut(id);
+        m.woken = true;
+        if m.submit_done {
+            self.ready.push_back(id);
+        }
+        if self.wake_fifo[s].is_empty() {
+            self.wake_busy[s] = false;
+        } else {
+            self.sched.schedule(
+                self.cfg.clock.cycles(self.cfg.kickoff_cycles),
+                Ev::WakeDone(s as u32),
+            );
+        }
+        self.poll_workers();
     }
 
     fn complete_phase(&mut self, idx: usize) {
@@ -527,17 +625,14 @@ impl<'t> Sim<'t> {
                     }
                 }
             }
-            PhaseKind::Finish { newly } => {
+            PhaseKind::Finish { wakes } => {
+                debug_assert!(
+                    wakes.is_empty(),
+                    "every involved shard's job completion must have posted its wakes"
+                );
                 self.completed += 1;
                 self.in_window -= 1;
                 self.makespan = self.sched.now();
-                for id in newly {
-                    let m = self.meta_mut(id);
-                    m.woken = true;
-                    if m.submit_done {
-                        self.ready.push_back(id);
-                    }
-                }
                 // A finish phase is the wake edge for a stalled master.
                 self.retry_parked();
                 self.poll_master();
@@ -569,7 +664,7 @@ impl<'t> Sim<'t> {
         let phase = self.alloc_phase(Phase {
             jobs_left: fin.cost.per_shard.len() as u32,
             kind: PhaseKind::Finish {
-                newly: fin.newly_ready,
+                wakes: fin.wakes_by_shard,
             },
         });
         if fin.cost.per_shard.is_empty() {
@@ -593,6 +688,7 @@ impl<'t> Sim<'t> {
                 Ev::PrepDone => self.on_prep_done(),
                 Ev::ShardDone(s) => self.on_shard_done(s as usize),
                 Ev::ExecDone(w) => self.on_exec_done(w),
+                Ev::WakeDone(s) => self.on_wake_done(s as usize),
             }
         }
         assert_eq!(
@@ -604,6 +700,16 @@ impl<'t> Sim<'t> {
         );
         assert_eq!(self.engine.in_flight(), 0, "leaked in-flight tasks");
         assert!(self.parked.is_none(), "master still parked at drain");
+        assert!(
+            self.wake_fifo.iter().all(|f| f.is_empty()),
+            "undelivered kick-off notifications at drain"
+        );
+        assert!(self.wake_busy.iter().all(|b| !b), "kick-off drain leaked");
+        assert_eq!(
+            self.wakes_delivered.iter().sum::<u64>(),
+            self.kickoffs_expected,
+            "every task that parked at its check must be kicked off exactly once"
+        );
         debug_assert_eq!(
             self.shard_stalls, self.shard_retries_resolved,
             "every stall episode must resolve by drain time"
@@ -622,6 +728,8 @@ impl<'t> Sim<'t> {
             master_capacity_stalls: self.shard_stalls.iter().sum(),
             shard_stalls: self.shard_stalls,
             shard_retries_resolved: self.shard_retries_resolved,
+            shard_wake_peak: self.wake_peak,
+            shard_wakes_delivered: self.wakes_delivered,
         }
     }
 }
@@ -893,6 +1001,77 @@ mod tests {
             let r = simulate_sharded(MultiMaestroConfig::with_capacity(2, capacity), &trace);
             assert_eq!(r.tasks, trace.len() as u64, "capacity={capacity}");
         }
+    }
+
+    #[test]
+    fn kickoff_fifo_conserves_wakes_and_reports_fan_in_depth() {
+        // Steal-stress shape: one root whose completion releases every
+        // chain head at once — all of those kick-off notifications are
+        // attributed to the root address's home shard, so that shard's
+        // FIFO must peak at exactly `chains` while every other wake (the
+        // one-wakes-one chain steps) passes through depth >= 1.
+        use nexuspp_workloads::StealStressSpec;
+        let spec = StealStressSpec {
+            chains: 16,
+            chain_len: 12,
+            exec_ns: 0,
+        };
+        let trace = spec.generate();
+        let r = simulate_sharded(resolution_bound(4), &trace);
+        assert_eq!(r.tasks, trace.len() as u64);
+        // Every task except the root parked at submit and was therefore
+        // delivered through some shard's kick-off FIFO, exactly once.
+        assert_eq!(
+            r.shard_wakes_delivered.iter().sum::<u64>(),
+            trace.len() as u64 - 1,
+            "each parked task must be kicked off exactly once"
+        );
+        assert_eq!(
+            r.shard_wake_peak.iter().copied().max().unwrap(),
+            spec.chains as usize,
+            "the root's burst must pile every chain head onto one FIFO"
+        );
+        assert_eq!(r.shard_wake_peak.len(), 4);
+    }
+
+    #[test]
+    fn independent_tasks_never_touch_the_kickoff_fifos() {
+        let trace = balanced(500);
+        let r = simulate_sharded(resolution_bound(4), &trace);
+        assert_eq!(r.tasks, 500);
+        assert!(
+            r.shard_wakes_delivered.iter().all(|&w| w == 0),
+            "ready-at-submit tasks bypass kick-off: {:?}",
+            r.shard_wakes_delivered
+        );
+        assert!(r.shard_wake_peak.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn slower_kickoff_delivery_never_speeds_the_fan_in_stream() {
+        use nexuspp_workloads::StealStressSpec;
+        let trace = StealStressSpec {
+            chains: 8,
+            chain_len: 40,
+            exec_ns: 0,
+        }
+        .generate();
+        let fast = simulate_sharded(resolution_bound(2), &trace);
+        let slow = simulate_sharded(
+            MultiMaestroConfig {
+                kickoff_cycles: 64,
+                ..resolution_bound(2)
+            },
+            &trace,
+        );
+        assert_eq!(fast.tasks, slow.tasks);
+        assert!(
+            slow.makespan >= fast.makespan,
+            "a 64x slower kick-off port cannot beat the 1-cycle port \
+             (slow {} vs fast {})",
+            slow.makespan,
+            fast.makespan
+        );
     }
 
     #[test]

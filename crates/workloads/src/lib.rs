@@ -26,6 +26,10 @@
 //! * [`steal_stress`] — the imbalanced fan-out (one root releasing many
 //!   serial chains at once) that makes work stealing mandatory for
 //!   speedup, driving the `nexuspp-sched` scheduler comparison,
+//! * [`wake_stress`] — the wide fan-in (many finishers each releasing a
+//!   burst of dependents homed on one shard) that concentrates kick-off
+//!   traffic on a single wake list, driving the locked-vs-lock-free wake
+//!   delivery comparison (`repro -- wakes`),
 //! * [`random`] — seeded random task streams for tests and fuzzing,
 //! * [`analysis`] — task-graph analytics (parallelism profile, critical
 //!   path) used to regenerate Figure 4's ramp-effect illustration.
@@ -40,6 +44,7 @@ pub mod steal_stress;
 pub mod stress;
 pub mod timing;
 pub mod video;
+pub mod wake_stress;
 
 pub use capacity_stress::CapacityStressSpec;
 pub use gaussian::{GaussianSource, GaussianSpec};
@@ -48,3 +53,4 @@ pub use sharded_stress::ShardedStressSpec;
 pub use steal_stress::StealStressSpec;
 pub use timing::H264Timing;
 pub use video::VideoSpec;
+pub use wake_stress::WakeStressSpec;

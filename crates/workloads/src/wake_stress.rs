@@ -1,0 +1,144 @@
+//! The wake-stress workload: a wide fan-in that concentrates kick-off
+//! traffic on a single shard.
+//!
+//! Shape: `producers` independent writer tasks whose output addresses
+//! all hash to **one** shard (shard 0 of a `shards`-way partition), each
+//! followed by `consumers_per` reader tasks parked on its address. Every
+//! producer completion therefore releases a burst of `consumers_per`
+//! dependents — and because the dependence addresses share a home shard,
+//! every burst lands on the *same* shard's kick-off path, from many
+//! concurrent finishers at once.
+//!
+//! This is the pathological stream for wake delivery: resolution work is
+//! trivial (one address per task), but the hot shard must hand out
+//! `producers × consumers_per` wake records produced under maximal
+//! finisher concurrency. The threaded dispatcher harness in
+//! `nexuspp_shard::stress` replays the identical structure directly;
+//! this module generates it as an address trace so the multi-Maestro
+//! model (whose per-shard kick-off FIFOs report the resulting depth) and
+//! the oracle can consume the same DAG.
+
+use nexuspp_core::nth_addr_on_shard;
+use nexuspp_desim::SimTime;
+use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+
+/// Parameters of the wake-stress stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeStressSpec {
+    /// Independent producer tasks, all homed on the hot shard.
+    pub producers: u32,
+    /// Dependent reader tasks parked on each producer's address.
+    pub consumers_per: u32,
+    /// Shard-partition width the addresses are aimed at (every producer
+    /// address hashes to shard 0 of this many).
+    pub shards: usize,
+    /// Pure execution time per task.
+    pub exec_ns: u64,
+}
+
+impl WakeStressSpec {
+    /// The default sweep point: a burst of `consumers_per` wakes per
+    /// finish across `producers` concurrent finishers on 4 shards.
+    pub fn new(producers: u32, consumers_per: u32) -> Self {
+        WakeStressSpec {
+            producers,
+            consumers_per,
+            shards: 4,
+            exec_ns: 0,
+        }
+    }
+
+    /// Total tasks (producers plus all consumers).
+    pub fn task_count(&self) -> u64 {
+        self.producers as u64 * (1 + self.consumers_per as u64)
+    }
+
+    /// Kick-off notifications the hot shard must deliver.
+    pub fn wake_count(&self) -> u64 {
+        self.producers as u64 * self.consumers_per as u64
+    }
+
+    /// Producer `p`'s address: the `p`-th address homed on shard 0 —
+    /// the same address the threaded harness in `nexuspp_shard::stress`
+    /// aims at (both delegate to [`nth_addr_on_shard`]).
+    pub fn producer_addr(&self, p: u32) -> u64 {
+        nth_addr_on_shard(0, self.shards, p)
+    }
+
+    /// Generate the trace: producer `p` is task `p`; its consumers are
+    /// tasks `producers + p·consumers_per ..` in submission order.
+    pub fn generate(&self) -> Trace {
+        assert!(self.producers >= 1, "need at least one producer");
+        assert!(self.shards >= 1, "need at least one shard");
+        let task = |id: u64, params: Vec<Param>| TaskRecord {
+            id,
+            fptr: 0x3A4E,
+            params,
+            exec: SimTime::from_ns(self.exec_ns),
+            read: MemCost::None,
+            write: MemCost::None,
+        };
+        let mut tasks = Vec::with_capacity(self.task_count() as usize);
+        for p in 0..self.producers {
+            tasks.push(task(
+                p as u64,
+                vec![Param::output(self.producer_addr(p), 16)],
+            ));
+        }
+        for p in 0..self.producers {
+            let addr = self.producer_addr(p);
+            for c in 0..self.consumers_per {
+                let id = self.producers as u64 + p as u64 * self.consumers_per as u64 + c as u64;
+                tasks.push(task(id, vec![Param::input(addr, 16)]));
+            }
+        }
+        Trace::from_tasks(
+            format!("wake-stress-{}x{}", self.producers, self.consumers_per),
+            tasks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexuspp_core::oracle::OracleResolver;
+
+    #[test]
+    fn producers_start_ready_and_release_their_full_burst() {
+        let spec = WakeStressSpec::new(6, 9);
+        let trace = spec.generate();
+        assert_eq!(trace.len() as u64, spec.task_count());
+        let mut oracle = OracleResolver::new();
+        let mut ready_at_submit = 0;
+        for t in &trace.tasks {
+            if oracle.submit(&t.params).1 {
+                ready_at_submit += 1;
+            }
+        }
+        assert_eq!(
+            ready_at_submit, spec.producers,
+            "exactly the producers may start immediately"
+        );
+        // Each producer's completion wakes its whole consumer burst.
+        for id in oracle.ready_set() {
+            let woken = oracle.finish(id);
+            assert_eq!(woken.len() as u32, spec.consumers_per, "producer {id}");
+            for w in woken {
+                assert!(oracle.finish(w).is_empty(), "consumers wake nobody");
+            }
+        }
+        assert!(oracle.all_done());
+    }
+
+    #[test]
+    fn every_address_hashes_to_the_hot_shard() {
+        let spec = WakeStressSpec::new(32, 4);
+        for p in 0..spec.producers {
+            assert_eq!(
+                nexuspp_core::shard_of_addr(spec.producer_addr(p), spec.shards),
+                0
+            );
+        }
+    }
+}

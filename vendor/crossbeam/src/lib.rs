@@ -9,7 +9,10 @@
 //! * [`queue`] — the non-blocking [`queue::SegQueue`], a Michael–Scott
 //!   style linked queue with genuinely lock-free producers (one atomic
 //!   swap per push), used by the sharded dispatcher's deferred-finish
-//!   rings and the work-stealing scheduler's injectors,
+//!   rings and the work-stealing scheduler's injectors, and
+//!   [`queue::PushList`], a Treiber/Vyukov-style MPSC push/drain list
+//!   (lock-free push, whole-chain drain) backing the dispatcher's
+//!   per-shard wake lists,
 //! * [`deque`] — Chase–Lev work-stealing deques with the
 //!   `crossbeam-deque` API shape ([`deque::Worker`], [`deque::Stealer`],
 //!   [`deque::Injector`], [`deque::Steal`]), backing the
@@ -176,6 +179,179 @@ pub mod queue {
         }
     }
 
+    struct ListNode<T> {
+        /// Plain pointer: only written before publication (push links the
+        /// node to the observed head *before* the CAS) and only read by
+        /// the drainer, which owns the whole detached chain exclusively.
+        next: *mut ListNode<T>,
+        val: T,
+    }
+
+    /// A multi-producer **push/drain** list (Treiber push, Vyukov-style
+    /// whole-chain consumption): producers prepend nodes with a lock-free
+    /// CAS; a consumer detaches the *entire* chain with one atomic swap
+    /// and iterates it in push order.
+    ///
+    /// This is the shape wake/kick-off delivery wants — records are posted
+    /// from many finishers and consumed in batches by whichever thread
+    /// currently owns the drain — and it makes memory reclamation trivial:
+    /// a drained chain is reachable only by its drainer (the swap removed
+    /// every shared path to it), so nodes are freed without epochs,
+    /// hazard pointers, or ABA concerns. `push` never touches detached
+    /// nodes (it only ever links to the *current* head), so the classic
+    /// Treiber-stack ABA hazard — which needs a concurrent *pop-one*
+    /// reusing an address — cannot arise with drain-everything consumers.
+    ///
+    /// Ordering guarantees:
+    ///
+    /// * [`drain`](PushList::drain) yields records in **global push
+    ///   order** (the linearization order of the publishing CASes) —
+    ///   in particular, per-producer FIFO.
+    /// * `push`/`drain`/`is_empty` are `SeqCst`, so a push that completed
+    ///   before a failed drain-ownership handoff is always visible to the
+    ///   owner's re-check (the lost-wake guard the dispatcher's CAS-owner
+    ///   protocol relies on).
+    /// * [`len`](PushList::len)/[`is_empty`](PushList::is_empty) never
+    ///   under-count completed pushes (counted before publication,
+    ///   uncounted only at drain).
+    pub struct PushList<T> {
+        head: AtomicPtr<ListNode<T>>,
+        /// Incremented before publication, decremented as a drained chain
+        /// is walked: an upper bound that never misses a completed push.
+        len: AtomicUsize,
+    }
+
+    unsafe impl<T: Send> Send for PushList<T> {}
+    unsafe impl<T: Send> Sync for PushList<T> {}
+
+    impl<T> PushList<T> {
+        /// An empty list.
+        pub fn new() -> Self {
+            PushList {
+                head: AtomicPtr::new(ptr::null_mut()),
+                len: AtomicUsize::new(0),
+            }
+        }
+
+        /// Prepend an element. Lock-free: a CAS loop on the head pointer
+        /// that only ever retries when another producer published first.
+        pub fn push(&self, value: T) {
+            // Count before publishing so `is_empty` can never miss a
+            // completed push.
+            self.len.fetch_add(1, Ordering::SeqCst);
+            let node = Box::into_raw(Box::new(ListNode {
+                next: ptr::null_mut(),
+                val: value,
+            }));
+            let mut head = self.head.load(Ordering::SeqCst);
+            loop {
+                unsafe { (*node).next = head };
+                match self
+                    .head
+                    .compare_exchange(head, node, Ordering::SeqCst, Ordering::SeqCst)
+                {
+                    Ok(_) => return,
+                    Err(h) => head = h,
+                }
+            }
+        }
+
+        /// Detach every element pushed so far (one atomic swap) and
+        /// return them in push order. The returned iterator owns the
+        /// chain exclusively; elements not iterated drop with it.
+        ///
+        /// Concurrent pushes that land after the swap stay on the list
+        /// for the next drain. Multiple concurrent drainers are safe
+        /// (each takes a disjoint chain), but callers that need *all*
+        /// records in one place — like the dispatcher's wake delivery —
+        /// should serialize drains through an ownership flag.
+        pub fn drain(&self) -> PushListDrain<'_, T> {
+            let mut chain = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+            // Reverse the LIFO chain in place: the detached nodes are
+            // exclusively ours, so plain pointer writes suffice.
+            let mut prev: *mut ListNode<T> = ptr::null_mut();
+            let mut taken = 0usize;
+            while !chain.is_null() {
+                let next = unsafe { (*chain).next };
+                unsafe { (*chain).next = prev };
+                prev = chain;
+                chain = next;
+                taken += 1;
+            }
+            if taken > 0 {
+                self.len.fetch_sub(taken, Ordering::SeqCst);
+            }
+            PushListDrain {
+                next: prev,
+                _list: std::marker::PhantomData,
+            }
+        }
+
+        /// True if the list held no elements at the time of the check —
+        /// never true while a completed `push` remains undrained.
+        pub fn is_empty(&self) -> bool {
+            self.len.load(Ordering::SeqCst) == 0
+        }
+
+        /// Observed number of queued elements (an upper bound while
+        /// producers race; exact at quiescence).
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::SeqCst)
+        }
+    }
+
+    impl<T> Default for PushList<T> {
+        fn default() -> Self {
+            PushList::new()
+        }
+    }
+
+    impl<T> std::fmt::Debug for PushList<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("PushList")
+                .field("len", &self.len())
+                .finish()
+        }
+    }
+
+    impl<T> Drop for PushList<T> {
+        fn drop(&mut self) {
+            // Exclusive access: detach and drop whatever was never
+            // drained (parked wake records at shutdown).
+            drop(self.drain());
+        }
+    }
+
+    /// Owning iterator over one detached [`PushList`] chain, yielding in
+    /// push order. Dropping it drops the remaining elements.
+    pub struct PushListDrain<'a, T> {
+        next: *mut ListNode<T>,
+        /// Ties the drain's lifetime to the list purely as API hygiene
+        /// (the chain itself is already exclusively owned).
+        _list: std::marker::PhantomData<&'a PushList<T>>,
+    }
+
+    unsafe impl<T: Send> Send for PushListDrain<'_, T> {}
+
+    impl<T> Iterator for PushListDrain<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            if self.next.is_null() {
+                return None;
+            }
+            let node = unsafe { Box::from_raw(self.next) };
+            self.next = node.next;
+            Some(node.val)
+        }
+    }
+
+    impl<T> Drop for PushListDrain<'_, T> {
+        fn drop(&mut self) {
+            while self.next().is_some() {}
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -268,6 +444,74 @@ pub mod queue {
                 }
                 assert_eq!(std::sync::Arc::strong_count(&tracker), 11);
                 let _ = q.pop();
+            }
+            assert_eq!(std::sync::Arc::strong_count(&tracker), 1);
+        }
+
+        #[test]
+        fn push_list_drains_in_push_order() {
+            let l = PushList::new();
+            assert!(l.is_empty());
+            l.push(1);
+            l.push(2);
+            l.push(3);
+            assert_eq!(l.len(), 3);
+            assert_eq!(l.drain().collect::<Vec<_>>(), vec![1, 2, 3]);
+            assert!(l.is_empty());
+            assert_eq!(l.drain().next(), None);
+            // The list is reusable after a drain.
+            l.push(4);
+            assert_eq!(l.drain().collect::<Vec<_>>(), vec![4]);
+        }
+
+        #[test]
+        fn push_list_concurrent_producers_lose_nothing_and_keep_producer_order() {
+            const PRODUCERS: u64 = 4;
+            const PER_PRODUCER: u64 = 5000;
+            let l = std::sync::Arc::new(PushList::new());
+            let handles: Vec<_> = (0..PRODUCERS)
+                .map(|t| {
+                    let l = std::sync::Arc::clone(&l);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            l.push((t, i));
+                        }
+                    })
+                })
+                .collect();
+            // A concurrent drainer churns while producers run.
+            let mut got: Vec<(u64, u64)> = Vec::new();
+            while got.len() < (PRODUCERS * PER_PRODUCER) as usize {
+                got.extend(l.drain());
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.extend(l.drain());
+            assert_eq!(got.len() as u64, PRODUCERS * PER_PRODUCER);
+            // Per-producer FIFO survives interleaved drains.
+            let mut next = vec![0u64; PRODUCERS as usize];
+            for (t, i) in got {
+                assert_eq!(i, next[t as usize], "producer {t} out of order");
+                next[t as usize] = i + 1;
+            }
+        }
+
+        #[test]
+        fn push_list_drops_undrained_elements() {
+            let tracker = std::sync::Arc::new(());
+            {
+                let l = PushList::new();
+                for _ in 0..10 {
+                    l.push(std::sync::Arc::clone(&tracker));
+                }
+                assert_eq!(std::sync::Arc::strong_count(&tracker), 11);
+                // A half-consumed drain drops the rest of its chain …
+                let mut d = l.drain();
+                let _ = d.next();
+                drop(d);
+                // … and the list drop covers records pushed after it.
+                l.push(std::sync::Arc::clone(&tracker));
             }
             assert_eq!(std::sync::Arc::strong_count(&tracker), 1);
         }

@@ -153,7 +153,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among type-erased alternatives ([`prop_oneof!`]).
+    /// Uniform choice among type-erased alternatives (`prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<BoxedStrategy<T>>,
     }
@@ -444,7 +444,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for `Vec`s of `element` values (output of [`vec`]).
+    /// Strategy for `Vec`s of `element` values (output of [`vec()`]).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
