@@ -19,6 +19,7 @@
 //!   steal      ready-queue vs work-stealing sched    (extension)
 //!   capacity   bounded shard tables, stall/retry     (extension)
 //!   wakes      locked vs lock-free wake delivery     (extension)
+//!   frontend   version renaming vs raw addressing    (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -33,7 +34,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|all> \
          [--full] [--quick] [--csv DIR]"
     );
     std::process::exit(2);
@@ -86,6 +87,7 @@ fn main() {
         "steal" => run(vec![experiments::steal(&opts)], &opts),
         "capacity" => run(vec![experiments::capacity(&opts)], &opts),
         "wakes" => run(vec![experiments::wakes(&opts)], &opts),
+        "frontend" => run(vec![experiments::frontend(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

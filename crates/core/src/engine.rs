@@ -21,11 +21,17 @@
 use crate::config::NexusConfig;
 use crate::cost::OpCost;
 use crate::pool::{PoolError, TaskPool, TdIndex};
+use crate::submit::{Submission, SubmitError};
 use crate::table::{CheckParamOutcome, DepTable, TableFull};
 use nexuspp_trace::Param;
 
 /// Why a task could not be admitted. Alias of [`PoolError`] at the engine
 /// level.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by nexuspp_core::SubmitError, the unified submission \
+            error surface (PoolError maps into it via From)"
+)]
 pub type AdmitError = PoolError;
 
 /// Progress of a (possibly resumed) dependency check.
@@ -130,7 +136,7 @@ impl DependencyEngine {
         fptr: u64,
         tag: u64,
         params: Vec<Param>,
-    ) -> Result<(TdIndex, OpCost), AdmitError> {
+    ) -> Result<(TdIndex, OpCost), PoolError> {
         debug_assert!(
             {
                 let mut addrs: Vec<u64> = params.iter().map(|p| p.addr).collect();
@@ -238,7 +244,7 @@ impl DependencyEngine {
         fptr: u64,
         tag: u64,
         params: Vec<Param>,
-    ) -> Result<(TdIndex, bool), AdmitError> {
+    ) -> Result<(TdIndex, bool), PoolError> {
         let (td, _) = self.admit(fptr, tag, params)?;
         match self.check(td) {
             CheckProgress::Done { ready, .. } => Ok((td, ready)),
@@ -246,6 +252,18 @@ impl DependencyEngine {
                 "submit(): dependence table full; use admit()/check() with retry for fixed configs"
             ),
         }
+    }
+
+    /// [`submit`](Self::submit) over the unified surface: consume a
+    /// [`Submission`] (typically from a
+    /// [`TaskBuilder`](crate::TaskBuilder)) and report any rejection as a
+    /// [`SubmitError`]. Unlike the positional path — where a duplicated
+    /// parameter address is only a `debug_assert` — a malformed parameter
+    /// list is a real [`SubmitError::DuplicateAddress`] error here.
+    pub fn try_submit(&mut self, sub: Submission) -> Result<(TdIndex, bool), SubmitError> {
+        sub.validate()?;
+        let (fptr, tag, params) = sub.into_parts();
+        self.submit(fptr, tag, params).map_err(SubmitError::from)
     }
 }
 
@@ -441,6 +459,46 @@ mod tests {
         );
         assert!(e.is_ready(t1));
         e.finish(t1);
+    }
+
+    #[test]
+    fn try_submit_reports_unified_errors() {
+        use crate::submit::{SubmitError, TaskBuilder};
+        let cfg = NexusConfig {
+            task_pool_entries: 2,
+            ..Default::default()
+        };
+        let mut e = DependencyEngine::new(&cfg);
+        // Bad params surface as a real error, not a debug_assert.
+        let dup = crate::submit::Submission {
+            fptr: 1,
+            tag: 0,
+            priority: crate::Priority::Normal,
+            params: vec![Param::input(0x8, 4), Param::output(0x8, 4)],
+        };
+        assert_eq!(
+            e.try_submit(dup),
+            Err(SubmitError::DuplicateAddress { addr: 0x8 })
+        );
+        // Builder-made submissions are normalized and admit cleanly.
+        let (t0, ready) = e
+            .try_submit(
+                TaskBuilder::new(1)
+                    .tag(7)
+                    .reads(0x8, 4)
+                    .writes(0x8, 4)
+                    .build(),
+            )
+            .unwrap();
+        assert!(ready);
+        // Pool exhaustion maps into the unified enum, unattributed.
+        e.try_submit(TaskBuilder::new(1).writes(0x10, 4).build())
+            .unwrap();
+        match e.try_submit(TaskBuilder::new(1).writes(0x18, 4).build()) {
+            Err(SubmitError::PoolFull { shard: None, .. }) => {}
+            other => panic!("expected PoolFull, got {other:?}"),
+        }
+        assert_eq!(e.finish(t0).tag, 7);
     }
 
     #[test]

@@ -27,7 +27,11 @@
 //!   (dummy tasks/entries) is unnecessary,
 //! * [`priority`] — the ready-task handoff types (the StarSs
 //!   `highpriority` clause) shared by the schedulers and runtimes that
-//!   consume what the engine releases.
+//!   consume what the engine releases,
+//! * [`submit`] — the unified submission surface: the [`SubmitError`]
+//!   enum every `submit*` entry point reports (capacity-full, pool-full,
+//!   bad-params) and the [`TaskBuilder`]/[`Submission`] pair that is the
+//!   blessed way to construct a task.
 
 pub mod config;
 pub mod cost;
@@ -35,11 +39,15 @@ pub mod engine;
 pub mod oracle;
 pub mod pool;
 pub mod priority;
+pub mod submit;
 pub mod table;
 
 pub use config::{NexusConfig, ShardCapacity};
 pub use cost::OpCost;
-pub use engine::{AdmitError, CheckProgress, DependencyEngine, FinishResult};
+#[allow(deprecated)]
+pub use engine::AdmitError;
+pub use engine::{CheckProgress, DependencyEngine, FinishResult};
 pub use pool::{PoolError, TaskPool, TdIndex};
 pub use priority::Priority;
+pub use submit::{Submission, SubmitError, TaskBuilder};
 pub use table::{address_hash, nth_addr_on_shard, shard_of_addr, DepTable, TableFull};

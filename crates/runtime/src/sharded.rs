@@ -33,7 +33,7 @@
 
 use crate::region::{Region, RegionId};
 use crate::runtime::{Grants, Job, TaskCtx};
-use nexuspp_core::{NexusConfig, Priority, ShardCapacity};
+use nexuspp_core::{NexusConfig, Priority, ShardCapacity, Submission};
 use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
 use nexuspp_shard::{CapacityCounts, ShardDispatcher, TaskTicket, WakeCounts, WakeMode};
 use nexuspp_trace::normalize::normalize_params;
@@ -262,6 +262,41 @@ impl ShardedRuntime {
             rt: self,
             accesses: Vec::new(),
             high_priority: false,
+        }
+    }
+
+    /// Submit a pre-addressed task — a [`Submission`] whose parameter
+    /// addresses were already assigned, typically by the resource-
+    /// versioning frontend's lowering — and run `f` when its declared
+    /// dependencies allow. No [`Region`]s are involved: the addresses
+    /// *are* the dependence-table keys, so `f` receives no data context.
+    /// Capacity semantics match [`spawn`](ShardedTaskBuilder::spawn)
+    /// (bounded shards block the submitter until a slot frees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the submission fails validation (duplicate parameter
+    /// addresses) — [`TaskBuilder`](nexuspp_core::TaskBuilder)-built
+    /// submissions are always valid.
+    pub fn spawn_lowered(&self, sub: Submission, f: impl FnOnce() + Send + 'static) {
+        sub.validate().expect("invalid lowered submission");
+        let prio = sub.priority;
+        let (fptr, tag, params) = sub.into_parts();
+        let grants: Grants = Arc::new(params.iter().map(|p| (RegionId(p.addr), p.mode)).collect());
+        let inner = &self.inner;
+        {
+            let mut p = inner.pending.lock();
+            *p += 1;
+        }
+        inner.submitted.fetch_add(1, Ordering::Relaxed);
+        let work = Work {
+            grants,
+            job: Box::new(move |_ctx| f()),
+            prio,
+        };
+        let res = inner.dispatcher.submit(fptr, tag, &params, work);
+        if let Some(work) = res.ready {
+            inner.sched.submit((res.ticket, work), prio);
         }
     }
 

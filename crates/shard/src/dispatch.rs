@@ -55,7 +55,7 @@
 
 use crate::engine::route_params;
 use crossbeam::queue::{PushList, SegQueue};
-use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, TdIndex};
+use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, SubmitError, TdIndex};
 use nexuspp_trace::Param;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -438,6 +438,46 @@ impl<P> ShardDispatcher<P> {
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.submit_reserved(fptr, tag, groups, payload)
+    }
+
+    /// Non-blocking [`submit`](Self::submit): where the blocking path
+    /// parks the calling thread on a full shard, this returns
+    /// [`SubmitError::CapacityFull`] (with the payload handed back) so
+    /// the caller owns the retry policy. Also validates the parameter
+    /// list — a duplicated address is [`SubmitError::DuplicateAddress`]
+    /// instead of a downstream debug assertion. A rejection reserves
+    /// nothing and is not counted as a stall episode.
+    pub fn try_submit(
+        &self,
+        fptr: u64,
+        tag: u64,
+        params: &[Param],
+        payload: P,
+    ) -> Result<SubmitResult<P>, (SubmitError, P)> {
+        {
+            let mut addrs: Vec<u64> = params.iter().map(|p| p.addr).collect();
+            addrs.sort_unstable();
+            if let Some(w) = addrs.windows(2).find(|w| w[0] == w[1]) {
+                return Err((SubmitError::DuplicateAddress { addr: w[0] }, payload));
+            }
+        }
+        let groups = route_params(params, self.shards.len());
+        if let Err(full) = self.try_reserve(&groups) {
+            let limit = self.capacity.limit().expect("unbounded always admits");
+            return Err((SubmitError::CapacityFull { shard: full, limit }, payload));
+        }
+        Ok(self.submit_reserved(fptr, tag, groups, payload))
+    }
+
+    /// The shared admission body: residency slots already reserved.
+    fn submit_reserved(
+        &self,
+        fptr: u64,
+        tag: u64,
+        groups: Vec<(u32, Vec<Param>)>,
+        payload: P,
+    ) -> SubmitResult<P> {
         let node = Arc::new(Node {
             tag,
             pending: AtomicU32::new(groups.len() as u32 + 1),
@@ -840,6 +880,46 @@ mod tests {
             (c.stalls_observed, c.retries_resolved, c.resident),
             (1, 1, 0)
         );
+    }
+
+    #[test]
+    fn try_submit_hands_the_payload_back_instead_of_parking() {
+        let d = ShardDispatcher::<u64>::with_capacity(
+            1,
+            &NexusConfig::unbounded(),
+            ShardCapacity::Bounded(1),
+        );
+        // A duplicated address is rejected before any slot is reserved.
+        let dup = [Param::input(0x100, 4), Param::output(0x100, 4)];
+        match d.try_submit(1, 0, &dup, 7) {
+            Err((SubmitError::DuplicateAddress { addr }, p)) => {
+                assert_eq!((addr, p), (0x100, 7));
+            }
+            other => panic!("expected DuplicateAddress, got {other:?}"),
+        }
+        assert_eq!(d.capacity_counts()[0].resident, 0);
+
+        let r0 = d
+            .try_submit(1, 0, &[Param::output(0x100, 4)], 0)
+            .expect("slot free");
+        // The shard is now full: where submit() would park, try_submit
+        // reports the full shard and returns the payload unchanged.
+        match d.try_submit(1, 1, &[Param::output(0x200, 4)], 1) {
+            Err((SubmitError::CapacityFull { shard, limit }, p)) => {
+                assert_eq!((shard, limit, p), (0, 1, 1));
+            }
+            other => panic!("expected CapacityFull, got {other:?}"),
+        }
+        let c = &d.capacity_counts()[0];
+        assert_eq!((c.stalls_observed, c.resident), (0, 1));
+
+        d.finish(r0.ticket);
+        let r1 = d
+            .try_submit(1, 1, &[Param::output(0x200, 4)], 1)
+            .expect("slot released by finish");
+        assert_eq!(r1.ready, Some(1));
+        d.finish(r1.ticket);
+        assert_eq!(d.capacity_counts()[0].resident, 0);
     }
 
     #[test]

@@ -36,17 +36,31 @@
 
 use nexuspp_core::engine::CheckProgress;
 use nexuspp_core::pool::PoolError;
-use nexuspp_core::{shard_of_addr, DependencyEngine, NexusConfig, OpCost, ShardCapacity, TdIndex};
+use nexuspp_core::{
+    shard_of_addr, DependencyEngine, NexusConfig, OpCost, ShardCapacity, Submission, SubmitError,
+    TdIndex,
+};
 use nexuspp_trace::Param;
 use std::fmt;
 
 /// Why a task could not be admitted (same retry semantics as the single
 /// engine: `PoolFull` clears after completions, `TaskTooLarge` never).
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by nexuspp_core::SubmitError, the unified submission \
+            error surface (see ShardedEngine::submit_task / try_admit_task)"
+)]
 pub type AdmitError = PoolError;
 
 /// An admission rejection attributed to the shard that caused it, so a
 /// stalling front-end (the multi-Maestro master, the batched submitter)
 /// knows which shard's next finish report to park on.
+///
+/// This is the positional-tuple path's error type; it folds a residency
+/// rejection into `PoolFull { needed: 1, free: 0 }`. The
+/// [`Submission`]-based entry points ([`ShardedEngine::submit_task`],
+/// [`ShardedEngine::try_admit_task`]) report the richer
+/// [`SubmitError`], which keeps capacity-full distinct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardRejection {
     /// The first shard (in the task's first-touch order) that could not
@@ -54,6 +68,12 @@ pub struct ShardRejection {
     pub shard: u32,
     /// The underlying pool/capacity error (`PoolFull` is retryable).
     pub error: PoolError,
+}
+
+impl From<ShardRejection> for SubmitError {
+    fn from(r: ShardRejection) -> Self {
+        SubmitError::from(r.error).on_shard(r.shard)
+    }
 }
 
 /// A task's identity in the sharded engine: its home-record slot index.
@@ -344,12 +364,12 @@ impl ShardedEngine {
     /// space under a fixed `cfg`, and a residency slot under a bounded
     /// [`ShardCapacity`] — so the multi-shard admission below never
     /// partially commits. The rejection names the first failing shard.
-    fn capacity_check(&self, groups: &[(u32, Vec<Param>)]) -> Result<(), ShardRejection> {
+    fn capacity_check(&self, groups: &[(u32, Vec<Param>)]) -> Result<(), SubmitError> {
         for (s, sub) in groups {
             if !self.capacity.admits(self.resident[*s as usize]) {
-                return Err(ShardRejection {
+                return Err(SubmitError::CapacityFull {
                     shard: *s,
-                    error: PoolError::PoolFull { needed: 1, free: 0 },
+                    limit: self.capacity.limit().expect("unbounded always admits"),
                 });
             }
             if self.growable {
@@ -358,25 +378,41 @@ impl ShardedEngine {
             let pool = self.shards[*s as usize].pool();
             let needed = pool.tds_needed(sub.len());
             if needed > pool.capacity() {
-                return Err(ShardRejection {
-                    shard: *s,
-                    error: PoolError::TaskTooLarge {
-                        needed,
-                        capacity: pool.capacity(),
-                    },
+                return Err(SubmitError::TaskTooLarge {
+                    shard: Some(*s),
+                    needed,
+                    capacity: pool.capacity(),
                 });
             }
             if needed > pool.free_count() {
-                return Err(ShardRejection {
-                    shard: *s,
-                    error: PoolError::PoolFull {
-                        needed,
-                        free: pool.free_count(),
-                    },
+                return Err(SubmitError::PoolFull {
+                    shard: Some(*s),
+                    needed,
+                    free: pool.free_count(),
                 });
             }
         }
         Ok(())
+    }
+
+    /// Downgrade a unified rejection to the positional path's
+    /// [`ShardRejection`] (residency-full folds into `PoolFull`, exactly
+    /// the legacy encoding).
+    fn downgrade(e: SubmitError) -> ShardRejection {
+        let shard = e
+            .shard()
+            .expect("capacity_check attributes every rejection");
+        let error = match e {
+            SubmitError::CapacityFull { .. } => PoolError::PoolFull { needed: 1, free: 0 },
+            SubmitError::PoolFull { needed, free, .. } => PoolError::PoolFull { needed, free },
+            SubmitError::TaskTooLarge {
+                needed, capacity, ..
+            } => PoolError::TaskTooLarge { needed, capacity },
+            SubmitError::DuplicateAddress { .. } => {
+                unreachable!("capacity_check never reports bad params")
+            }
+        };
+        ShardRejection { shard, error }
     }
 
     /// Admit a task: allocate a sub-descriptor on every shard that owns at
@@ -387,7 +423,7 @@ impl ShardedEngine {
         fptr: u64,
         tag: u64,
         params: Vec<Param>,
-    ) -> Result<(TaskId, OpBreakdown), AdmitError> {
+    ) -> Result<(TaskId, OpBreakdown), PoolError> {
         self.try_admit(fptr, tag, params).map_err(|r| r.error)
     }
 
@@ -400,7 +436,33 @@ impl ShardedEngine {
         params: Vec<Param>,
     ) -> Result<(TaskId, OpBreakdown), ShardRejection> {
         let groups = self.partition(&params);
+        self.capacity_check(&groups).map_err(Self::downgrade)?;
+        Ok(self.admit_routed(fptr, tag, groups))
+    }
+
+    /// [`try_admit`](Self::try_admit) over the unified surface: consume a
+    /// [`Submission`] and report rejections as [`SubmitError`] —
+    /// including [`SubmitError::CapacityFull`] (which the positional path
+    /// folds into `PoolFull`) and [`SubmitError::DuplicateAddress`] for
+    /// malformed parameter lists.
+    pub fn try_admit_task(
+        &mut self,
+        sub: Submission,
+    ) -> Result<(TaskId, OpBreakdown), SubmitError> {
+        sub.validate()?;
+        let (fptr, tag, params) = sub.into_parts();
+        let groups = self.partition(&params);
         self.capacity_check(&groups)?;
+        Ok(self.admit_routed(fptr, tag, groups))
+    }
+
+    /// The shared multi-shard admission body (capacity already cleared).
+    fn admit_routed(
+        &mut self,
+        fptr: u64,
+        tag: u64,
+        groups: Vec<(u32, Vec<Param>)>,
+    ) -> (TaskId, OpBreakdown) {
         let id = self.alloc_slot();
         let mut cost = OpBreakdown::default();
         let mut parts = Vec::with_capacity(groups.len());
@@ -422,7 +484,7 @@ impl ShardedEngine {
             checked: false,
         });
         self.in_flight += 1;
-        Ok((id, cost))
+        (id, cost)
     }
 
     /// Check the task's shard slices, resuming from the last stall point
@@ -535,12 +597,28 @@ impl ShardedEngine {
         fptr: u64,
         tag: u64,
         params: Vec<Param>,
-    ) -> Result<(TaskId, bool), AdmitError> {
+    ) -> Result<(TaskId, bool), PoolError> {
         let (id, _) = self.admit(fptr, tag, params)?;
         match self.check(id) {
             ShardedCheck::Done { ready, .. } => Ok((id, ready)),
             ShardedCheck::Stalled { shard, .. } => panic!(
                 "submit(): dependence table full on shard {shard}; \
+                 use admit()/check() with retry for fixed configs"
+            ),
+        }
+    }
+
+    /// [`submit`](Self::submit) over the unified surface: admit + check a
+    /// [`Submission`], reporting any rejection as a [`SubmitError`] with
+    /// the failing shard attributed (capacity-full, pool-full and
+    /// bad-params all surface as errors; only the fixed-config mid-check
+    /// table stall keeps the step-wise-API panic).
+    pub fn submit_task(&mut self, sub: Submission) -> Result<(TaskId, bool), SubmitError> {
+        let (id, _) = self.try_admit_task(sub)?;
+        match self.check(id) {
+            ShardedCheck::Done { ready, .. } => Ok((id, ready)),
+            ShardedCheck::Stalled { shard, .. } => panic!(
+                "submit_task(): dependence table full on shard {shard}; \
                  use admit()/check() with retry for fixed configs"
             ),
         }
@@ -1079,6 +1157,79 @@ mod tests {
         let mut e =
             ShardedEngine::with_capacity(2, &NexusConfig::unbounded(), ShardCapacity::Bounded(1));
         e.submit_batch(vec![(1, 0, vec![Param::output(0x40, 4)])]);
+    }
+
+    #[test]
+    fn unified_errors_attribute_the_shard_and_keep_capacity_distinct() {
+        use nexuspp_core::TaskBuilder;
+        let mut e =
+            ShardedEngine::with_capacity(2, &NexusConfig::unbounded(), ShardCapacity::Bounded(1));
+        // Bad params are a real error on the Submission path.
+        let dup = Submission {
+            fptr: 1,
+            tag: 0,
+            priority: nexuspp_core::Priority::Normal,
+            params: vec![Param::input(0x40, 4), Param::output(0x40, 4)],
+        };
+        assert_eq!(
+            e.submit_task(dup),
+            Err(SubmitError::DuplicateAddress { addr: 0x40 })
+        );
+        // Fill shard 0, then watch a spanning task reject as CapacityFull
+        // with the shard named — where the tuple path reports PoolFull.
+        let a0 = addr_on(2, 0, 20);
+        let (t0, _) = e
+            .submit_task(TaskBuilder::new(1).tag(0).writes(a0, 4).build())
+            .unwrap();
+        let spanning = TaskBuilder::new(1)
+            .tag(1)
+            .writes(addr_on(2, 0, 21), 4)
+            .writes(addr_on(2, 1, 21), 4)
+            .build();
+        assert_eq!(
+            e.submit_task(spanning.clone()),
+            Err(SubmitError::CapacityFull { shard: 0, limit: 1 })
+        );
+        let rej = e.try_admit(1, 1, spanning.params.clone()).unwrap_err();
+        assert!(matches!(rej.error, PoolError::PoolFull { .. }));
+        assert_eq!(SubmitError::from(rej).shard(), Some(0));
+        // Retry succeeds after the resident finishes.
+        e.finish(t0);
+        let (t1, ready) = e.submit_task(spanning).unwrap();
+        assert!(ready);
+        e.finish(t1);
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn fixed_pool_rejections_surface_through_submit_task() {
+        use nexuspp_core::TaskBuilder;
+        let cfg = NexusConfig {
+            task_pool_entries: 2,
+            ..Default::default()
+        };
+        let mut e = ShardedEngine::new(1, &cfg);
+        e.submit_task(TaskBuilder::new(1).writes(0x40, 4).build())
+            .unwrap();
+        e.submit_task(TaskBuilder::new(1).writes(0x80, 4).build())
+            .unwrap();
+        match e.submit_task(TaskBuilder::new(1).writes(0xC0, 4).build()) {
+            Err(SubmitError::PoolFull {
+                shard: Some(0),
+                needed: 1,
+                ..
+            }) => {}
+            other => panic!("expected attributed PoolFull, got {other:?}"),
+        }
+        // A task larger than the whole pool is structurally rejected.
+        let mut big = TaskBuilder::new(1);
+        for i in 0..64u64 {
+            big = big.writes(0x1000 + i * 64, 4);
+        }
+        match e.try_admit_task(big.build()) {
+            Err(e) => assert!(!e.is_retryable()),
+            Ok(_) => panic!("expected TaskTooLarge"),
+        }
     }
 
     #[test]

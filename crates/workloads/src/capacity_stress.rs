@@ -19,9 +19,9 @@
 //! drains the stream at any capacity ≥ 1; a deadlock here is a protocol
 //! bug, not a workload artifact.
 
-use nexuspp_core::shard_of_addr;
+use nexuspp_core::{shard_of_addr, TaskBuilder};
 use nexuspp_desim::SimTime;
-use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+use nexuspp_trace::{MemCost, Trace};
 
 /// Parameters of the capacity-stress stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,29 +82,25 @@ impl CapacityStressSpec {
         };
         let seed_addr = addr_on(0);
         let cells: Vec<u64> = (0..self.chains).map(|c| addr_on(c % self.shards)).collect();
-        let task = |id: u64, params: Vec<Param>| TaskRecord {
-            id,
-            fptr: 0xCAFA,
-            params,
-            exec: SimTime::from_ns(self.exec_ns),
-            read: MemCost::None,
-            write: MemCost::None,
-        };
+        let record =
+            |b: TaskBuilder| b.record(SimTime::from_ns(self.exec_ns), MemCost::None, MemCost::None);
         let mut tasks = Vec::with_capacity(self.task_count() as usize);
-        tasks.push(task(0, vec![Param::output(seed_addr, 64)]));
+        tasks.push(record(
+            TaskBuilder::new(0xCAFA).tag(0).writes(seed_addr, 64),
+        ));
         let mut id = 1u64;
         for depth in 0..self.chain_len {
             for c in 0..self.chains {
                 let cell = cells[c as usize];
-                let mut params = Vec::with_capacity(3);
+                let mut b = TaskBuilder::new(0xCAFA).tag(id);
                 if depth == 0 {
-                    params.push(Param::input(seed_addr, 64));
+                    b = b.reads(seed_addr, 64);
                 }
-                params.push(Param::inout(cell, 16));
+                b = b.read_writes(cell, 16);
                 if self.wide_every > 0 && depth % self.wide_every == self.wide_every - 1 {
-                    params.push(Param::output(addr_on((c + 1) % self.shards), 16));
+                    b = b.writes(addr_on((c + 1) % self.shards), 16);
                 }
-                tasks.push(task(id, params));
+                tasks.push(record(b));
                 id += 1;
             }
         }

@@ -30,6 +30,10 @@
 //!   burst of dependents homed on one shard) that concentrates kick-off
 //!   traffic on a single wake list, driving the locked-vs-lock-free wake
 //!   delivery comparison (`repro -- wakes`),
+//! * [`version_stress`] — rename-heavy declarative programs (write-only
+//!   version chains plus a halo-exchange stencil) built through the
+//!   resource-versioning frontend, quantifying how much parallelism
+//!   version renaming recovers over a raw single-address encoding,
 //! * [`random`] — seeded random task streams for tests and fuzzing,
 //! * [`analysis`] — task-graph analytics (parallelism profile, critical
 //!   path) used to regenerate Figure 4's ramp-effect illustration.
@@ -43,6 +47,7 @@ pub mod sharded_stress;
 pub mod steal_stress;
 pub mod stress;
 pub mod timing;
+pub mod version_stress;
 pub mod video;
 pub mod wake_stress;
 
@@ -52,5 +57,6 @@ pub use grid::{GridPattern, GridSpec};
 pub use sharded_stress::ShardedStressSpec;
 pub use steal_stress::StealStressSpec;
 pub use timing::H264Timing;
+pub use version_stress::VersionStressSpec;
 pub use video::VideoSpec;
 pub use wake_stress::WakeStressSpec;

@@ -18,9 +18,9 @@
 //! model (whose per-shard kick-off FIFOs report the resulting depth) and
 //! the oracle can consume the same DAG.
 
-use nexuspp_core::nth_addr_on_shard;
+use nexuspp_core::{nth_addr_on_shard, TaskBuilder};
 use nexuspp_desim::SimTime;
-use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+use nexuspp_trace::{MemCost, Trace};
 
 /// Parameters of the wake-stress stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,26 +70,21 @@ impl WakeStressSpec {
     pub fn generate(&self) -> Trace {
         assert!(self.producers >= 1, "need at least one producer");
         assert!(self.shards >= 1, "need at least one shard");
-        let task = |id: u64, params: Vec<Param>| TaskRecord {
-            id,
-            fptr: 0x3A4E,
-            params,
-            exec: SimTime::from_ns(self.exec_ns),
-            read: MemCost::None,
-            write: MemCost::None,
-        };
+        let record =
+            |b: TaskBuilder| b.record(SimTime::from_ns(self.exec_ns), MemCost::None, MemCost::None);
         let mut tasks = Vec::with_capacity(self.task_count() as usize);
         for p in 0..self.producers {
-            tasks.push(task(
-                p as u64,
-                vec![Param::output(self.producer_addr(p), 16)],
+            tasks.push(record(
+                TaskBuilder::new(0x3A4E)
+                    .tag(p as u64)
+                    .writes(self.producer_addr(p), 16),
             ));
         }
         for p in 0..self.producers {
             let addr = self.producer_addr(p);
             for c in 0..self.consumers_per {
                 let id = self.producers as u64 + p as u64 * self.consumers_per as u64 + c as u64;
-                tasks.push(task(id, vec![Param::input(addr, 16)]));
+                tasks.push(record(TaskBuilder::new(0x3A4E).tag(id).reads(addr, 16)));
             }
         }
         Trace::from_tasks(

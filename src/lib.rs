@@ -10,7 +10,13 @@
 //! * [`trace`] — task descriptor and trace data model,
 //! * [`workloads`] — the paper's benchmark generators,
 //! * [`core`] — the Nexus++ task pool, dependence table and resolution
-//!   protocol (the paper's primary contribution),
+//!   protocol (the paper's primary contribution), plus the unified
+//!   submission surface ([`core::TaskBuilder`], [`core::SubmitError`]),
+//! * [`frontend`] — the resource-versioning frontend: tasks declare
+//!   named resources (`reads`/`writes`/`read_writes`), every write
+//!   mints a logical version, and lowering renames versions onto
+//!   distinct addresses so WAR/WAW false dependencies vanish before
+//!   the hardware ever sees them,
 //! * [`shard`] — sharded resolution: N address-partitioned engines
 //!   composed into one logically-equivalent resolver, with a batched
 //!   submission front-end, a per-shard-locked concurrent dispatcher,
@@ -30,6 +36,55 @@
 //! See `README.md` for the workspace layout and verify commands.
 //!
 //! ## Quickstart
+//!
+//! Declare work by **named resources** and let the frontend do the
+//! addressing: each write mints a new logical version, lowering infers
+//! the true dependency edges and renames versions onto distinct
+//! physical addresses, and the lowered stream runs on any backend —
+//! here the real threaded sharded runtime:
+//!
+//! ```
+//! use nexuspp::frontend::{Lowering, Program};
+//! use nexuspp::runtime::ShardedRuntime;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let mut p = Program::new();
+//! p.resource("frame");
+//! // Three refinement passes over "frame" — each mints a new version —
+//! // then a stats task reading the final version.
+//! for pass in 0..3u64 {
+//!     p.task(0x100 + pass).read_writes("frame").submit().unwrap();
+//! }
+//! p.task(0x200).reads("frame").writes("stats").submit().unwrap();
+//!
+//! let lowered = p.lower(Lowering::Renamed).unwrap();
+//! assert_eq!(lowered.edges.len(), 3, "true RAW edges only — no WAW/WAR");
+//!
+//! let rt = ShardedRuntime::new(2, 2);
+//! let ran = Arc::new(AtomicU64::new(0));
+//! for sub in lowered.tasks.iter().cloned() {
+//!     let ran = Arc::clone(&ran);
+//!     rt.spawn_lowered(sub, move || {
+//!         ran.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! }
+//! rt.barrier();
+//! assert_eq!(ran.load(Ordering::Relaxed), 4);
+//!
+//! // Addressing by hand instead? `TaskBuilder` is the blessed way to
+//! // construct a submission; every layer accepts one and reports the
+//! // same `SubmitError` surface.
+//! use nexuspp::core::{DependencyEngine, NexusConfig, TaskBuilder};
+//!
+//! let mut engine = DependencyEngine::new(&NexusConfig::unbounded());
+//! let producer = TaskBuilder::new(0x300).tag(1).writes(0x1000, 64).build();
+//! let consumer = TaskBuilder::new(0x301).tag(2).reads(0x1000, 64).build();
+//! let (_, ready) = engine.try_submit(producer).unwrap();
+//! assert!(ready, "no dependencies yet");
+//! let (_, ready) = engine.try_submit(consumer).unwrap();
+//! assert!(!ready, "the RAW dependence holds the consumer back");
+//! ```
 //!
 //! The paper's evaluation flow end to end: generate a StarSs-style
 //! workload, let the simulated Nexus++ hardware discover its dependency
@@ -104,6 +159,7 @@
 pub use nexuspp_baseline as baseline;
 pub use nexuspp_core as core;
 pub use nexuspp_desim as desim;
+pub use nexuspp_frontend as frontend;
 pub use nexuspp_hw as hw;
 pub use nexuspp_runtime as runtime;
 pub use nexuspp_sched as sched;

@@ -7,8 +7,70 @@
 //! `std::time::Instant`. No statistics, plots, or saved baselines — CI
 //! compiles benches with `cargo bench --no-run`; running them locally
 //! prints wall-clock estimates good enough for coarse regression spotting.
+//!
+//! One extension beyond printing: when `CRITERION_SUMMARY_JSON` names a
+//! file, `criterion_main!` writes a machine-readable summary of every
+//! result after the groups run (see [`write_summary`]) — the hook the
+//! repro harness uses to persist benchmark trajectories in CI.
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, as recorded for the JSON summary.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    name: String,
+    best_ns: u128,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// If the `CRITERION_SUMMARY_JSON` environment variable names a path,
+/// write every benchmark result recorded so far there as JSON
+/// (`{"benchmarks": [{"group", "name", "best_ns", "iters",
+/// "throughput"}...]}`). Called automatically by `criterion_main!`
+/// after all groups finish; a no-op when the variable is unset.
+pub fn write_summary() {
+    let Ok(path) = std::env::var("CRITERION_SUMMARY_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let recs = records().lock().expect("summary records poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in recs.iter().enumerate() {
+        let throughput = match r.throughput {
+            Some(Throughput::Elements(n)) => format!("{{\"elements\": {n}}}"),
+            Some(Throughput::Bytes(n)) => format!("{{\"bytes\": {n}}}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"best_ns\": {}, \"iters\": {}, \"throughput\": {}}}{}\n",
+            json_escape(&r.group),
+            json_escape(&r.name),
+            r.best_ns,
+            r.iters,
+            throughput,
+            if i + 1 < recs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("summary: wrote {} records to {path}", recs.len()),
+        Err(e) => eprintln!("summary: failed to write {path}: {e}"),
+    }
+}
 
 /// Opaque value barrier preventing the optimizer from deleting benched work.
 pub fn black_box<T>(value: T) -> T {
@@ -47,6 +109,7 @@ impl Criterion {
         println!("group: {name}");
         BenchmarkGroup {
             _criterion: self,
+            name: name.to_string(),
             sample_size: 10,
             throughput: None,
         }
@@ -56,6 +119,7 @@ impl Criterion {
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'c> {
     _criterion: &'c mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -114,6 +178,16 @@ impl BenchmarkGroup<'_> {
             _ => String::new(),
         };
         println!("  {name}: best {best:?}/iter over {iters_of_best} iters{rate}");
+        records()
+            .lock()
+            .expect("summary records poisoned")
+            .push(Record {
+                group: self.name.clone(),
+                name: name.to_string(),
+                best_ns: best.as_nanos(),
+                iters: iters_of_best,
+                throughput: self.throughput,
+            });
         self
     }
 
@@ -171,12 +245,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declare the benchmark binary's `main`, criterion-style.
+/// Declare the benchmark binary's `main`, criterion-style. After every
+/// group runs, the machine-readable summary sink fires (see
+/// [`write_summary`]; no-op unless `CRITERION_SUMMARY_JSON` is set).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_summary();
         }
     };
 }
@@ -200,5 +277,27 @@ mod tests {
             g.finish();
         }
         assert!(ran >= 2);
+    }
+
+    #[test]
+    fn summary_sink_writes_json_when_env_set() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("sink");
+            g.sample_size(1);
+            g.throughput(Throughput::Elements(8));
+            g.bench_function("noop", |b| b.iter(|| 1u64));
+            g.finish();
+        }
+        let path = std::env::temp_dir().join("nexuspp_criterion_summary_test.json");
+        std::env::set_var("CRITERION_SUMMARY_JSON", &path);
+        write_summary();
+        std::env::remove_var("CRITERION_SUMMARY_JSON");
+        let text = std::fs::read_to_string(&path).expect("summary written");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.contains("\"group\": \"sink\""));
+        assert!(text.contains("\"name\": \"noop\""));
+        assert!(text.contains("{\"elements\": 8}"));
+        assert!(text.trim_end().ends_with('}'));
     }
 }
