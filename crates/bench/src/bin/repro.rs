@@ -20,6 +20,7 @@
 //!   capacity   bounded shard tables, stall/retry     (extension)
 //!   wakes      locked vs lock-free wake delivery     (extension)
 //!   frontend   version renaming vs raw addressing    (extension)
+//!   observe    lifecycle tracing & critical path     (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -34,7 +35,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|observe|all> \
          [--full] [--quick] [--csv DIR]"
     );
     std::process::exit(2);
@@ -88,6 +89,7 @@ fn main() {
         "capacity" => run(vec![experiments::capacity(&opts)], &opts),
         "wakes" => run(vec![experiments::wakes(&opts)], &opts),
         "frontend" => run(vec![experiments::frontend(&opts)], &opts),
+        "observe" => run(vec![experiments::observe(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

@@ -25,15 +25,6 @@ use crate::submit::{Submission, SubmitError};
 use crate::table::{CheckParamOutcome, DepTable, TableFull};
 use nexuspp_trace::Param;
 
-/// Why a task could not be admitted. Alias of [`PoolError`] at the engine
-/// level.
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by nexuspp_core::SubmitError, the unified submission \
-            error surface (PoolError maps into it via From)"
-)]
-pub type AdmitError = PoolError;
-
 /// Progress of a (possibly resumed) dependency check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckProgress {

@@ -44,8 +44,6 @@ pub mod table;
 
 pub use config::{NexusConfig, ShardCapacity};
 pub use cost::OpCost;
-#[allow(deprecated)]
-pub use engine::AdmitError;
 pub use engine::{CheckProgress, DependencyEngine, FinishResult};
 pub use pool::{PoolError, TaskPool, TdIndex};
 pub use priority::Priority;

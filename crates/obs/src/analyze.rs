@@ -1,0 +1,272 @@
+//! Event-stream analysis: per-task timelines, latency breakdowns, and
+//! the observed critical path.
+//!
+//! The observed critical path is reconstructed purely from the wake
+//! edges the runtime actually exercised: every [`EventKind::Ready`]
+//! event carries the tag of the finishing task that released it (or
+//! [`NO_TASK`] if the task was ready at submission). Chaining those
+//! edges backwards from every task gives each task a *depth* — ready
+//! at submit is depth 1, a task woken by a depth-`d` finisher is depth
+//! `d + 1` — and the maximum depth is the length of the longest
+//! realized dependence chain. On a correctly-ordered run this equals
+//! the structural critical path `parallelism_profile` computes from
+//! the task graph, which `repro -- observe` asserts for
+//! `version_stress`.
+
+use crate::event::{Event, EventKind, NO_TASK, NO_WORKER};
+use std::collections::{BTreeMap, HashMap};
+
+/// The recorded journey of one task.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskTimeline {
+    /// `ts_ns` of the task's `Submitted` event.
+    pub submitted: Option<u64>,
+    /// `ts_ns` of the task's `Ready` event.
+    pub ready: Option<u64>,
+    /// `ts_ns` of the task's `ExecStart` event.
+    pub exec_start: Option<u64>,
+    /// `ts_ns` of the task's `ExecDone` event.
+    pub exec_done: Option<u64>,
+    /// `ts_ns` of the task's `Finished` event.
+    pub finished: Option<u64>,
+    /// Worker that executed it, or [`NO_WORKER`].
+    pub worker: u32,
+    /// The finisher that released it, or `None` if ready at submit.
+    pub waker: Option<u64>,
+}
+
+/// Fold an event batch into per-task timelines (keyed by task tag;
+/// events with `task == NO_TASK` are skipped).
+pub fn timelines(events: &[Event]) -> BTreeMap<u64, TaskTimeline> {
+    let mut map: BTreeMap<u64, TaskTimeline> = BTreeMap::new();
+    for e in events {
+        if e.task == NO_TASK {
+            continue;
+        }
+        let t = map.entry(e.task).or_default();
+        match e.kind {
+            EventKind::Submitted => t.submitted = Some(e.ts_ns),
+            EventKind::Ready => {
+                t.ready = Some(e.ts_ns);
+                if e.aux != NO_TASK {
+                    t.waker = Some(e.aux);
+                }
+            }
+            EventKind::ExecStart => {
+                t.exec_start = Some(e.ts_ns);
+                if e.worker != NO_WORKER {
+                    t.worker = e.worker;
+                }
+            }
+            EventKind::ExecDone => t.exec_done = Some(e.ts_ns),
+            EventKind::Finished => t.finished = Some(e.ts_ns),
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Order statistics over one latency population.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Tasks with both endpoints recorded.
+    pub count: u64,
+    /// Mean latency in nanoseconds.
+    pub mean_ns: f64,
+    /// Median latency in nanoseconds.
+    pub p50_ns: u64,
+    /// Maximum latency in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut v: Vec<u64>) -> LatencyStats {
+        if v.is_empty() {
+            return LatencyStats::default();
+        }
+        v.sort_unstable();
+        LatencyStats {
+            count: v.len() as u64,
+            mean_ns: v.iter().sum::<u64>() as f64 / v.len() as f64,
+            p50_ns: v[v.len() / 2],
+            max_ns: *v.last().unwrap(),
+        }
+    }
+}
+
+/// The submit→ready→start→done→finish stage latencies over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Submission until the dependence count hit zero.
+    pub submit_to_ready: LatencyStats,
+    /// Ready until a worker picked the task up.
+    pub ready_to_start: LatencyStats,
+    /// Body execution time.
+    pub start_to_done: LatencyStats,
+    /// Body return until the dependence tables retired the task.
+    pub done_to_finish: LatencyStats,
+}
+
+/// Compute the per-stage latency breakdown from task timelines.
+pub fn latency_breakdown(tl: &BTreeMap<u64, TaskTimeline>) -> LatencyBreakdown {
+    let stage = |f: &dyn Fn(&TaskTimeline) -> Option<(u64, u64)>| {
+        LatencyStats::from_samples(
+            tl.values()
+                .filter_map(f)
+                .map(|(a, b)| b.saturating_sub(a))
+                .collect(),
+        )
+    };
+    LatencyBreakdown {
+        submit_to_ready: stage(&|t| Some((t.submitted?, t.ready?))),
+        ready_to_start: stage(&|t| Some((t.ready?, t.exec_start?))),
+        start_to_done: stage(&|t| Some((t.exec_start?, t.exec_done?))),
+        done_to_finish: stage(&|t| Some((t.exec_done?, t.finished?))),
+    }
+}
+
+/// The longest realized wake chain in an event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObservedCriticalPath {
+    /// Number of tasks on the chain (1 = some task ran with no waker).
+    pub length: usize,
+    /// The chain itself, waker-first.
+    pub chain: Vec<u64>,
+}
+
+/// Extract the observed critical path from the wake edges in `events`.
+pub fn observed_critical_path(events: &[Event]) -> ObservedCriticalPath {
+    // task -> waker (None = ready at submit, or waker unknown).
+    let mut waker: HashMap<u64, Option<u64>> = HashMap::new();
+    for e in events {
+        if e.kind == EventKind::Ready && e.task != NO_TASK {
+            waker.insert(e.task, (e.aux != NO_TASK).then_some(e.aux));
+        }
+    }
+    // Each task has at most one waker, so the edges form a forest:
+    // walk each chain to its root iteratively (chains can be thousands
+    // deep), then unwind assigning depths. A malformed stream with a
+    // cyclic edge is cut rather than looped on.
+    let mut depth: HashMap<u64, usize> = HashMap::new();
+    for &start in waker.keys() {
+        if depth.contains_key(&start) {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut on_path: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut cur = start;
+        let mut base = 0usize;
+        loop {
+            if let Some(&d) = depth.get(&cur) {
+                base = d;
+                break;
+            }
+            if !on_path.insert(cur) {
+                break; // cycle: treat the repeated node's waker as depth 0
+            }
+            path.push(cur);
+            match waker.get(&cur).copied().flatten() {
+                // An unobserved waker (outside the stream) counts depth 0.
+                Some(w) if waker.contains_key(&w) => cur = w,
+                _ => break,
+            }
+        }
+        for node in path.into_iter().rev() {
+            base += 1;
+            depth.insert(node, base);
+        }
+    }
+    let Some((&deepest, &len)) = depth
+        .iter()
+        .max_by_key(|&(t, d)| (*d, std::cmp::Reverse(*t)))
+    else {
+        return ObservedCriticalPath::default();
+    };
+    let mut chain = vec![deepest];
+    let mut cur = deepest;
+    while chain.len() < len {
+        match waker.get(&cur).copied().flatten() {
+            Some(w) => {
+                chain.push(w);
+                cur = w;
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    ObservedCriticalPath { length: len, chain }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{NO_SHARD, NO_TASK};
+
+    fn ev(seq: u64, kind: EventKind, task: u64, aux: u64, ts_ns: u64) -> Event {
+        Event {
+            seq,
+            kind,
+            task,
+            aux,
+            shard: NO_SHARD,
+            worker: 0,
+            ts_ns,
+        }
+    }
+
+    #[test]
+    fn timelines_and_latencies_add_up() {
+        let events = vec![
+            ev(0, EventKind::Submitted, 1, NO_TASK, 100),
+            ev(1, EventKind::Ready, 1, NO_TASK, 150),
+            ev(2, EventKind::ExecStart, 1, NO_TASK, 250),
+            ev(3, EventKind::ExecDone, 1, NO_TASK, 650),
+            ev(4, EventKind::Finished, 1, NO_TASK, 700),
+        ];
+        let tl = timelines(&events);
+        assert_eq!(tl.len(), 1);
+        let b = latency_breakdown(&tl);
+        assert_eq!(b.submit_to_ready.max_ns, 50);
+        assert_eq!(b.ready_to_start.max_ns, 100);
+        assert_eq!(b.start_to_done.max_ns, 400);
+        assert_eq!(b.done_to_finish.max_ns, 50);
+        assert_eq!(b.start_to_done.count, 1);
+    }
+
+    #[test]
+    fn critical_path_follows_wake_edges() {
+        // 1 -> 2 -> 3 (chain), 4 independent.
+        let events = vec![
+            ev(0, EventKind::Ready, 1, NO_TASK, 0),
+            ev(1, EventKind::Ready, 4, NO_TASK, 0),
+            ev(2, EventKind::Ready, 2, 1, 10),
+            ev(3, EventKind::Ready, 3, 2, 20),
+        ];
+        let cp = observed_critical_path(&events);
+        assert_eq!(cp.length, 3);
+        assert_eq!(cp.chain, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deep_chains_do_not_overflow() {
+        let n = 100_000u64;
+        let mut events = vec![ev(0, EventKind::Ready, 0, NO_TASK, 0)];
+        for t in 1..n {
+            events.push(ev(t, EventKind::Ready, t, t - 1, t));
+        }
+        let cp = observed_critical_path(&events);
+        assert_eq!(cp.length, n as usize);
+        assert_eq!(cp.chain.len(), n as usize);
+        assert_eq!(cp.chain[0], 0);
+    }
+
+    #[test]
+    fn empty_stream_has_empty_path() {
+        assert_eq!(observed_critical_path(&[]).length, 0);
+        assert!(timelines(&[]).is_empty());
+        assert_eq!(
+            latency_breakdown(&BTreeMap::new()),
+            LatencyBreakdown::default()
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Chrome-trace export (the `chrome://tracing` / Perfetto JSON event
+//! format) plus a small JSON well-formedness checker used by the
+//! export's own tests and the `repro -- observe` self-check.
+//!
+//! Execution spans become `"X"` (complete) events — one horizontal bar
+//! per task on its worker's row — and every other lifecycle event
+//! becomes an `"i"` (instant) marker on the emitting thread's row, so
+//! the full task journey is visible on one timeline. Timestamps
+//! are exported in microseconds (the format's unit) at nanosecond
+//! precision.
+
+use crate::event::{Event, EventKind, NO_TASK, NO_WORKER};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Chrome-trace row (`tid`) for an event: workers keep their index + 1
+/// and row 0 collects everything emitted off-worker (the submitting
+/// master thread).
+fn tid(worker: u32) -> u32 {
+    if worker == NO_WORKER {
+        0
+    } else {
+        worker + 1
+    }
+}
+
+fn push_ts(out: &mut String, ts_ns: u64) {
+    // µs with ns precision, without float rounding surprises.
+    let _ = write!(out, "{}.{:03}", ts_ns / 1_000, ts_ns % 1_000);
+}
+
+/// Render an event batch as a Chrome-trace JSON document. Load the
+/// string (saved as a `.json` file) in `chrome://tracing` or
+/// <https://ui.perfetto.dev> to inspect the run's timeline.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+
+    // Thread-name metadata rows.
+    let mut tids: Vec<u32> = events.iter().map(|e| tid(e.worker)).collect();
+    tids.push(0);
+    tids.sort_unstable();
+    tids.dedup();
+    for t in tids {
+        sep(&mut out);
+        let name = if t == 0 {
+            "submitter".to_string()
+        } else {
+            format!("worker {}", t - 1)
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+
+    // Execution spans: pair ExecStart/ExecDone per task.
+    let mut spans: BTreeMap<u64, (Option<Event>, Option<Event>)> = BTreeMap::new();
+    for e in events {
+        if e.task == NO_TASK {
+            continue;
+        }
+        match e.kind {
+            EventKind::ExecStart => spans.entry(e.task).or_default().0 = Some(*e),
+            EventKind::ExecDone => spans.entry(e.task).or_default().1 = Some(*e),
+            _ => {}
+        }
+    }
+    for (task, (start, done)) in &spans {
+        let (Some(s), Some(d)) = (start, done) else {
+            continue;
+        };
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"task {task}\",\"cat\":\"exec\",\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":",
+            tid(s.worker)
+        );
+        push_ts(&mut out, s.ts_ns);
+        out.push_str(",\"dur\":");
+        push_ts(&mut out, d.ts_ns.saturating_sub(s.ts_ns));
+        let _ = write!(out, ",\"args\":{{\"task\":{task}}}}}");
+    }
+
+    // Everything else as instant markers.
+    for e in events {
+        if matches!(e.kind, EventKind::ExecStart | EventKind::ExecDone) {
+            continue;
+        }
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\
+             \"pid\":0,\"tid\":{},\"ts\":",
+            e.kind.name(),
+            tid(e.worker)
+        );
+        push_ts(&mut out, e.ts_ns);
+        out.push_str(",\"args\":{");
+        let mut args_first = true;
+        let mut arg = |out: &mut String, k: &str, v: u64| {
+            if !args_first {
+                out.push(',');
+            }
+            args_first = false;
+            let _ = write!(out, "\"{k}\":{v}");
+        };
+        if e.task != NO_TASK {
+            arg(&mut out, "task", e.task);
+        }
+        if e.aux != NO_TASK {
+            arg(&mut out, "waker", e.aux);
+        }
+        if e.shard != crate::event::NO_SHARD {
+            arg(&mut out, "shard", u64::from(e.shard));
+        }
+        out.push_str("}}");
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Check that `s` is one well-formed JSON value (objects, arrays,
+/// strings, numbers, booleans, null). Returns the byte offset and a
+/// short message on the first violation.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.i != b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at byte {}", self.i))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", c as char))
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return self.err("bad \\u escape"),
+                                }
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                }
+                Some(c) if c < 0x20 => return self.err("control character in string"),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Parser| {
+            let start = p.i;
+            while matches!(p.peek(), Some(c) if c.is_ascii_digit()) {
+                p.i += 1;
+            }
+            p.i > start
+        };
+        if !digits(self) {
+            return self.err("expected digits");
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return self.err("expected fraction digits");
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return self.err("expected exponent digits");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_SHARD;
+
+    fn ev(kind: EventKind, task: u64, worker: u32, ts_ns: u64) -> Event {
+        Event {
+            seq: ts_ns,
+            kind,
+            task,
+            aux: NO_TASK,
+            shard: NO_SHARD,
+            worker,
+            ts_ns,
+        }
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_spans_and_instants() {
+        let events = vec![
+            ev(EventKind::Submitted, 1, NO_WORKER, 10),
+            ev(EventKind::Ready, 1, NO_WORKER, 20),
+            ev(EventKind::ExecStart, 1, 0, 1_500),
+            ev(EventKind::ExecDone, 1, 0, 2_750),
+            ev(EventKind::Finished, 1, 0, 2_800),
+        ];
+        let json = chrome_trace(&events);
+        validate_json(&json).expect("export must be well-formed JSON");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":1.250"));
+        assert!(json.contains("\"Submitted\""));
+        assert!(json.contains("worker 0"));
+    }
+
+    #[test]
+    fn empty_batch_still_validates() {
+        validate_json(&chrome_trace(&[])).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "null",
+            "-12.5e+3",
+            "[1, 2, {\"a\": [true, false]}]",
+            "\"esc \\u00e9 \\n ok\"",
+            "{}",
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "nul",
+            "1.2.3",
+            "\"unterminated",
+            "[1] trailing",
+            "{'single':1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

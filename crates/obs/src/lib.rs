@@ -1,0 +1,62 @@
+//! # nexuspp-obs — runtime-wide observability
+//!
+//! The paper evaluates Nexus++ by watching every station of a task's
+//! life — submission, dependence check, kick-off, execution, finish —
+//! and this crate gives the reproduction the same view over its real
+//! threaded runtimes. It has three parts:
+//!
+//! 1. **Lifecycle events** ([`Event`], [`EventKind`]): twelve
+//!    transition kinds (`Submitted`, `DepCheckStart/Done`,
+//!    `Stalled/Resumed`, `Ready`, `Stolen`, `ExecStart/ExecDone`,
+//!    `WakePosted/WakeDelivered`, `Finished`), each stamped with task
+//!    tag, shard, worker, a monotonic timestamp, and a global sequence
+//!    number. The runtimes, the sharded dispatcher, and the scheduler
+//!    all emit into one [`Recorder`]: per-lane lock-free bounded rings
+//!    (claim-by-CAS, publish-by-sequence-store — the same
+//!    count-then-publish discipline as the dispatcher's `PushList`)
+//!    drained by a collector, with a [`Recorder::disabled`] path that
+//!    returns before reading the clock so production runs pay one
+//!    branch.
+//! 2. **A [`MetricsRegistry`]**: the layers' existing counters
+//!    (`SchedCounts`, `WakeCounts`, capacity stall/retry/stall-time)
+//!    unified behind one [`MetricsSnapshot`] type.
+//! 3. **Analysis and export**: per-task [`timelines`] and
+//!    [`latency_breakdown`] (submit→ready→start→finish), the
+//!    [`observed_critical_path`] over realized wake edges, and a
+//!    Chrome-trace JSON export ([`chrome_trace`]) for
+//!    `chrome://tracing`.
+//!
+//! Event flow:
+//!
+//! ```text
+//!  submitter ──┐                         ┌── Recorder lane 0 (ring)
+//!  worker 0 ───┤  emit(): seq.fetch_add  ├── Recorder lane 1 (ring)
+//!  worker 1 ───┤  + CAS-claim slot       ├── …
+//!  …           │  + release-publish      │
+//!              └── (full ring: dropped++)┘
+//!                                collector: drain() under one mutex,
+//!                                sort by seq → analyze / export
+//! ```
+//!
+//! The accounting invariant the wraparound tests hold the rings to:
+//! `recorded() + dropped()` equals the number of `emit` calls, always.
+//! The differential tests in `nexuspp-runtime` go further: at
+//! quiescence, event-derived totals must equal every legacy counter.
+
+#![deny(missing_docs)]
+
+mod analyze;
+mod event;
+mod export;
+mod recorder;
+mod registry;
+mod ring;
+
+pub use analyze::{
+    latency_breakdown, observed_critical_path, timelines, LatencyBreakdown, LatencyStats,
+    ObservedCriticalPath, TaskTimeline,
+};
+pub use event::{Event, EventKind, NO_SHARD, NO_TASK, NO_WORKER};
+pub use export::{chrome_trace, validate_json};
+pub use recorder::{Recorder, DEFAULT_LANE_CAPACITY};
+pub use registry::{MetricsGroup, MetricsRegistry, MetricsSnapshot};

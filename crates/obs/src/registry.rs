@@ -1,0 +1,155 @@
+//! The [`MetricsRegistry`]: one snapshot type over every layer's
+//! counters.
+//!
+//! Each layer already keeps its own counters (`SchedCounts` in the
+//! scheduler, `WakeCounts` and capacity stall/retry/stall-time in the
+//! dispatcher, submission totals in the runtimes). The registry does
+//! not replace them — it holds named *sources* (closures that snapshot
+//! a layer's counters on demand) and flattens them into one
+//! [`MetricsSnapshot`] that `repro` and the runtimes can render or
+//! query uniformly.
+
+use std::sync::Mutex;
+
+type Source = Box<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
+
+/// A registry of named counter groups, snapshotted on demand.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<(String, Source)>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let groups: Vec<String> = self
+            .sources
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(g, _)| g.clone())
+            .collect();
+        f.debug_struct("MetricsRegistry")
+            .field("groups", &groups)
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Register `group`: `f` is called at every [`snapshot`] to
+    /// produce the group's `(counter, value)` pairs.
+    ///
+    /// [`snapshot`]: MetricsRegistry::snapshot
+    pub fn register<F>(&self, group: &str, f: F)
+    where
+        F: Fn() -> Vec<(String, u64)> + Send + Sync + 'static,
+    {
+        self.sources
+            .lock()
+            .unwrap()
+            .push((group.to_string(), Box::new(f)));
+    }
+
+    /// Snapshot every group, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let sources = self.sources.lock().unwrap();
+        MetricsSnapshot {
+            groups: sources
+                .iter()
+                .map(|(name, f)| MetricsGroup {
+                    name: name.clone(),
+                    counters: f(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One group of counters within a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsGroup {
+    /// Group name (`"sched"`, `"wake"`, `"capacity"`, …).
+    pub name: String,
+    /// `(counter, value)` pairs in the source's order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A point-in-time flattening of every registered counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Groups in registration order.
+    pub groups: Vec<MetricsGroup>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one counter.
+    pub fn get(&self, group: &str, counter: &str) -> Option<u64> {
+        self.groups
+            .iter()
+            .filter(|g| g.name == group)
+            .flat_map(|g| g.counters.iter())
+            .find(|(c, _)| c == counter)
+            .map(|&(_, v)| v)
+    }
+
+    /// All `(group, counter, value)` triples, flattened.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, u64)> {
+        self.groups.iter().flat_map(|g| {
+            g.counters
+                .iter()
+                .map(move |(c, v)| (g.name.as_str(), c.as_str(), *v))
+        })
+    }
+
+    /// Render as aligned `group.counter = value` lines.
+    pub fn render(&self) -> String {
+        let rows: Vec<(String, u64)> = self
+            .iter()
+            .map(|(g, c, v)| (format!("{g}.{c}"), v))
+            .collect();
+        let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in rows {
+            out.push_str(&format!("{k:<width$} = {v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn sources_are_live_not_cached() {
+        let reg = MetricsRegistry::new();
+        let n = Arc::new(AtomicU64::new(1));
+        let n2 = Arc::clone(&n);
+        reg.register("g", move || {
+            vec![("n".to_string(), n2.load(Ordering::Relaxed))]
+        });
+        assert_eq!(reg.snapshot().get("g", "n"), Some(1));
+        n.store(42, Ordering::Relaxed);
+        assert_eq!(reg.snapshot().get("g", "n"), Some(42));
+        assert_eq!(reg.snapshot().get("g", "missing"), None);
+        assert_eq!(reg.snapshot().get("missing", "n"), None);
+    }
+
+    #[test]
+    fn render_is_aligned_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.register("sched", || vec![("steals".to_string(), 3)]);
+        reg.register("wake", || vec![("delivered".to_string(), 700)]);
+        let snap = reg.snapshot();
+        let text = snap.render();
+        assert!(text.contains("sched.steals"));
+        assert!(text.contains("= 700"));
+        assert_eq!(snap.iter().count(), 2);
+    }
+}

@@ -16,6 +16,7 @@
 use crate::region::{ReadGuard, Region, RegionId, WriteGuard};
 use nexuspp_core::pool::TdIndex;
 use nexuspp_core::{DependencyEngine, NexusConfig, Priority};
+use nexuspp_obs::{EventKind, MetricsRegistry, Recorder, NO_SHARD};
 use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
@@ -30,6 +31,9 @@ pub(crate) type Grants = Arc<Vec<(RegionId, AccessMode)>>;
 
 struct Work {
     td: TdIndex,
+    /// Caller-visible task identity carried through the scheduler so
+    /// exec-phase lifecycle events name the task, not its pool slot.
+    tag: u64,
     grants: Grants,
     job: Job,
     prio: Priority,
@@ -48,16 +52,35 @@ struct Inner {
     quiescent: Condvar,
     /// First task panic observed (re-raised at the next barrier).
     panicked: Mutex<Option<String>>,
+    /// Lifecycle-event recorder; `None` when the runtime was built
+    /// without one (zero recording overhead on every hot path).
+    obs: Option<Arc<Recorder>>,
 }
 
 impl Inner {
+    #[inline]
+    fn emit(&self, kind: EventKind, task: u64) {
+        if let Some(r) = &self.obs {
+            r.emit(kind, task, NO_SHARD);
+        }
+    }
+
+    #[inline]
+    fn emit_edge(&self, kind: EventKind, task: u64, aux: u64) {
+        if let Some(r) = &self.obs {
+            r.emit_edge(kind, task, aux, NO_SHARD);
+        }
+    }
+
     /// Retire `td` in the engine and deliver the whole wake set as one
-    /// batched scheduling operation from worker `h`.
-    fn task_finished(&self, h: &WorkerHandle<Work>, td: TdIndex) {
+    /// batched scheduling operation from worker `h`. `tag` is the
+    /// finishing task's identity for the event stream.
+    fn task_finished(&self, h: &WorkerHandle<Work>, td: TdIndex, tag: u64) {
         let woken: Vec<(Work, Priority)> = {
             let mut st = self.state.lock();
             let fin = st.engine.finish(td);
-            fin.newly_ready
+            let woken: Vec<(Work, Priority)> = fin
+                .newly_ready
                 .into_iter()
                 .map(|ready| {
                     let work = st
@@ -67,8 +90,20 @@ impl Inner {
                     let prio = work.prio;
                     (work, prio)
                 })
-                .collect()
+                .collect();
+            // Emit under the state lock: any later submit/finish holds
+            // the same lock, so these events are seq-ordered before
+            // everything that observes the wake.
+            self.emit(EventKind::Finished, tag);
+            for (work, _) in &woken {
+                self.emit_edge(EventKind::Ready, work.tag, tag);
+                self.emit_edge(EventKind::WakePosted, work.tag, tag);
+            }
+            woken
         };
+        for (work, _) in &woken {
+            self.emit(EventKind::WakeDelivered, work.tag);
+        }
         self.sched.wake_batch(h, woken);
         let mut p = self.pending.lock();
         *p -= 1;
@@ -174,17 +209,25 @@ impl<'rt> TaskBuilder<'rt> {
         let mut st = inner.state.lock();
         st.submitted += 1;
         let tag = st.submitted;
+        inner.emit(EventKind::Submitted, tag);
+        inner.emit(EventKind::DepCheckStart, tag);
         let (td, ready) = st
             .engine
             .submit(0, tag, params)
             .expect("growable engine cannot reject");
+        // Emitted under the state lock: a finisher that will wake this
+        // task must acquire the same lock first, so its `Ready` event is
+        // seq-ordered after this one.
+        inner.emit(EventKind::DepCheckDone, tag);
         let work = Work {
             td,
+            tag,
             grants,
             job: Box::new(f),
             prio,
         };
         if ready {
+            inner.emit(EventKind::Ready, tag);
             drop(st);
             inner.sched.submit(work, prio);
         } else {
@@ -209,8 +252,23 @@ impl Runtime {
     /// Start a runtime with `n` worker threads scheduling ready tasks
     /// through `kind`.
     pub fn with_scheduler(n: usize, kind: SchedulerKind) -> Self {
+        Runtime::build(n, kind, None)
+    }
+
+    /// Start a runtime that records lifecycle events into `rec`. Every
+    /// submit/wake/exec transition is stamped into the recorder's
+    /// per-thread rings; drain with [`nexuspp_obs::Recorder::drain`]
+    /// after a [`barrier`](Self::barrier) for a causally ordered stream.
+    pub fn with_recorder(n: usize, kind: SchedulerKind, rec: Arc<Recorder>) -> Self {
+        Runtime::build(n, kind, Some(rec))
+    }
+
+    fn build(n: usize, kind: SchedulerKind, obs: Option<Arc<Recorder>>) -> Self {
         assert!(n >= 1, "need at least one worker");
-        let (sched, handles) = Scheduler::new(kind, n);
+        let (mut sched, handles) = Scheduler::new(kind, n);
+        if let Some(rec) = &obs {
+            sched.set_recorder(Arc::clone(rec), |w: &Work| w.tag);
+        }
         let inner = Arc::new(Inner {
             state: Mutex::new(RtState {
                 engine: DependencyEngine::new(&NexusConfig::unbounded()),
@@ -221,6 +279,7 @@ impl Runtime {
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             panicked: Mutex::new(None),
+            obs,
         });
         let workers = handles
             .into_iter()
@@ -244,6 +303,39 @@ impl Runtime {
     /// quiescent — call after [`barrier`](Self::barrier)).
     pub fn sched_counts(&self) -> SchedCounts {
         self.inner.sched.counts()
+    }
+
+    /// The lifecycle-event recorder this runtime stamps into, if built
+    /// with [`with_recorder`](Self::with_recorder).
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.inner.obs.as_ref()
+    }
+
+    /// Build a [`MetricsRegistry`] over every counter surface this
+    /// runtime exposes: task accounting (`tasks`), scheduler activity
+    /// (`sched`) and — when a recorder is attached — event-ring
+    /// accounting (`events`). Snapshots are exact at quiescence.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let inner = Arc::clone(&self.inner);
+        reg.register("tasks", move || {
+            vec![
+                ("submitted".into(), inner.state.lock().submitted),
+                ("pending".into(), *inner.pending.lock()),
+            ]
+        });
+        let inner = Arc::clone(&self.inner);
+        reg.register("sched", move || sched_counters(&inner.sched.counts()));
+        if let Some(rec) = &self.inner.obs {
+            let rec = Arc::clone(rec);
+            reg.register("events", move || {
+                vec![
+                    ("recorded".into(), rec.recorded()),
+                    ("dropped".into(), rec.dropped()),
+                ]
+            });
+        }
+        reg
     }
 
     /// Allocate a data region managed by this runtime.
@@ -304,11 +396,31 @@ impl Runtime {
     }
 }
 
+/// Flatten a [`SchedCounts`] snapshot into registry rows (shared with
+/// the sharded runtime's registry).
+pub(crate) fn sched_counters(c: &SchedCounts) -> Vec<(String, u64)> {
+    vec![
+        ("submitted".into(), c.submitted),
+        ("local_pushes".into(), c.local_pushes),
+        ("local_pops".into(), c.local_pops),
+        ("injector_pops".into(), c.injector_pops),
+        ("high_pops".into(), c.high_pops),
+        ("steals".into(), c.steals),
+        ("parks".into(), c.parks),
+        ("unparks".into(), c.unparks),
+        ("wake_batches".into(), c.wake_batches),
+        ("dispatched".into(), c.dispatched()),
+    ]
+}
+
 fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Work>) {
+    Recorder::set_thread_worker(h.id() as u32);
     while let Some(work) = inner.sched.next(h) {
         let ctx = TaskCtx {
             grants: work.grants,
         };
+        let tag = work.tag;
+        inner.emit(EventKind::ExecStart, tag);
         // Keep the runtime's bookkeeping sound even when a task panics:
         // record the payload, finish the task, re-raise at the next
         // barrier.
@@ -316,7 +428,8 @@ fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Work>) {
         if let Err(payload) = result {
             inner.panicked.lock().get_or_insert(panic_msg(&*payload));
         }
-        inner.task_finished(h, work.td);
+        inner.emit(EventKind::ExecDone, tag);
+        inner.task_finished(h, work.td, tag);
     }
 }
 

@@ -32,8 +32,9 @@
 //! concurrent finisher posted and skipped) straight into `wake_batch`.
 
 use crate::region::{Region, RegionId};
-use crate::runtime::{Grants, Job, TaskCtx};
+use crate::runtime::{sched_counters, Grants, Job, TaskCtx};
 use nexuspp_core::{NexusConfig, Priority, ShardCapacity, Submission};
+use nexuspp_obs::{EventKind, MetricsRegistry, Recorder};
 use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
 use nexuspp_shard::{CapacityCounts, ShardDispatcher, TaskTicket, WakeCounts, WakeMode};
 use nexuspp_trace::normalize::normalize_params;
@@ -64,6 +65,10 @@ struct Inner {
     quiescent: Condvar,
     /// First task panic observed (re-raised at the next barrier).
     panicked: Mutex<Option<String>>,
+    /// Lifecycle-event recorder for the exec phase; the dispatcher holds
+    /// its own clone for the resolution/wake phases. `None` when the
+    /// runtime was built without one.
+    obs: Option<Arc<Recorder>>,
 }
 
 /// Declarative task builder for the sharded runtime (same surface as
@@ -183,20 +188,50 @@ impl ShardedRuntime {
         capacity: ShardCapacity,
         wake_mode: WakeMode,
     ) -> Self {
+        ShardedRuntime::build(n, shards, kind, capacity, wake_mode, None)
+    }
+
+    /// Start a runtime (every knob explicit) that records lifecycle
+    /// events into `rec`: the dispatcher stamps the resolution and wake
+    /// phases (with real shard ids), the scheduler stamps steals and
+    /// idle parks, and the workers stamp the exec phase. Drain with
+    /// [`nexuspp_obs::Recorder::drain`] after a
+    /// [`barrier`](Self::barrier) for a causally ordered stream.
+    pub fn with_recorder(
+        n: usize,
+        shards: usize,
+        kind: SchedulerKind,
+        capacity: ShardCapacity,
+        wake_mode: WakeMode,
+        rec: Arc<Recorder>,
+    ) -> Self {
+        ShardedRuntime::build(n, shards, kind, capacity, wake_mode, Some(rec))
+    }
+
+    fn build(
+        n: usize,
+        shards: usize,
+        kind: SchedulerKind,
+        capacity: ShardCapacity,
+        wake_mode: WakeMode,
+        obs: Option<Arc<Recorder>>,
+    ) -> Self {
         assert!(n >= 1, "need at least one worker");
-        let (sched, handles) = Scheduler::new(kind, n);
+        let (mut sched, handles) = Scheduler::new(kind, n);
+        let mut dispatcher =
+            ShardDispatcher::with_mode(shards, &NexusConfig::unbounded(), capacity, wake_mode);
+        if let Some(rec) = &obs {
+            sched.set_recorder(Arc::clone(rec), |r: &Ready| r.0.tag());
+            dispatcher = dispatcher.with_recorder(Arc::clone(rec));
+        }
         let inner = Arc::new(Inner {
-            dispatcher: ShardDispatcher::with_mode(
-                shards,
-                &NexusConfig::unbounded(),
-                capacity,
-                wake_mode,
-            ),
+            dispatcher,
             sched,
             submitted: AtomicU64::new(0),
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             panicked: Mutex::new(None),
+            obs,
         });
         let workers = handles
             .into_iter()
@@ -249,6 +284,74 @@ impl ShardedRuntime {
     /// quiescent — call after [`barrier`](Self::barrier)).
     pub fn sched_counts(&self) -> SchedCounts {
         self.inner.sched.counts()
+    }
+
+    /// The lifecycle-event recorder this runtime stamps into, if built
+    /// with [`with_recorder`](Self::with_recorder).
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.inner.obs.as_ref()
+    }
+
+    /// Build a [`MetricsRegistry`] over every counter surface this
+    /// runtime exposes: task accounting (`tasks`), scheduler activity
+    /// (`sched`), wake-path counters (`wake`), capacity stall/retry
+    /// totals including parked time (`capacity`), and — when a recorder
+    /// is attached — event-ring accounting (`events`). Snapshots are
+    /// exact at quiescence.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        let inner = Arc::clone(&self.inner);
+        reg.register("tasks", move || {
+            vec![
+                ("submitted".into(), inner.submitted.load(Ordering::Relaxed)),
+                ("pending".into(), *inner.pending.lock()),
+            ]
+        });
+        let inner = Arc::clone(&self.inner);
+        reg.register("sched", move || sched_counters(&inner.sched.counts()));
+        let inner = Arc::clone(&self.inner);
+        reg.register("wake", move || {
+            let w = inner.dispatcher.wake_counts();
+            vec![
+                ("delivered".into(), w.delivered),
+                ("deliveries".into(), w.deliveries),
+                ("delivery_ns".into(), w.delivery_ns),
+                (
+                    "delivery_lock_acquisitions".into(),
+                    w.delivery_lock_acquisitions,
+                ),
+            ]
+        });
+        let inner = Arc::clone(&self.inner);
+        reg.register("capacity", move || {
+            let per_shard = inner.dispatcher.capacity_counts();
+            let mut stalls = 0;
+            let mut retries = 0;
+            let mut stall_ns = 0;
+            let mut resident = 0u64;
+            for c in &per_shard {
+                stalls += c.stalls_observed;
+                retries += c.retries_resolved;
+                stall_ns += c.stall_ns;
+                resident += c.resident as u64;
+            }
+            vec![
+                ("stalls_observed".into(), stalls),
+                ("retries_resolved".into(), retries),
+                ("stall_ns".into(), stall_ns),
+                ("resident".into(), resident),
+            ]
+        });
+        if let Some(rec) = &self.inner.obs {
+            let rec = Arc::clone(rec);
+            reg.register("events", move || {
+                vec![
+                    ("recorded".into(), rec.recorded()),
+                    ("dropped".into(), rec.dropped()),
+                ]
+            });
+        }
+        reg
     }
 
     /// Allocate a data region managed by this runtime.
@@ -337,14 +440,21 @@ impl ShardedRuntime {
 }
 
 fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Ready>) {
+    Recorder::set_thread_worker(h.id() as u32);
     while let Some((ticket, work)) = inner.sched.next(h) {
         let ctx = TaskCtx::from_grants(work.grants);
+        if let Some(r) = &inner.obs {
+            r.emit(EventKind::ExecStart, ticket.tag(), nexuspp_obs::NO_SHARD);
+        }
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (work.job)(&ctx)));
         if let Err(payload) = result {
             inner
                 .panicked
                 .lock()
                 .get_or_insert(crate::runtime::panic_msg(&*payload));
+        }
+        if let Some(r) = &inner.obs {
+            r.emit(EventKind::ExecDone, ticket.tag(), nexuspp_obs::NO_SHARD);
         }
         // Retire through the sharded dispatcher: only the shards this
         // task touched are locked (for table access; wake delivery runs

@@ -112,12 +112,21 @@ enum Imp<T> {
     Ws(WorkStealScheduler<T>),
 }
 
+/// Lifecycle-event hook attached by [`Scheduler::set_recorder`]: the
+/// recorder plus a projection from the scheduled item to its task tag,
+/// so steal events name the task that moved.
+pub(crate) struct SchedObs<T> {
+    pub(crate) rec: std::sync::Arc<nexuspp_obs::Recorder>,
+    pub(crate) tag_of: fn(&T) -> u64,
+}
+
 /// A ready-task scheduler shared by `n` workers (plus any number of
 /// submitting threads).
 pub struct Scheduler<T> {
     imp: Imp<T>,
     metrics: SchedMetrics,
     n_workers: usize,
+    obs: Option<SchedObs<T>>,
 }
 
 impl<T: Send> Scheduler<T> {
@@ -147,9 +156,24 @@ impl<T: Send> Scheduler<T> {
                 imp,
                 metrics: SchedMetrics::default(),
                 n_workers,
+                obs: None,
             },
             handles,
         )
+    }
+
+    /// Attach a lifecycle-event recorder. `tag_of` projects a scheduled
+    /// item to its task tag so `Stolen` events name the task that moved
+    /// between workers. The work-stealing kind additionally emits
+    /// `Stalled`/`Resumed` around each idle park (with no task or shard
+    /// attached — see [`nexuspp_obs::EventKind::Stalled`]); the mutex
+    /// kind blocks in a channel receive and emits no park events.
+    pub fn set_recorder(
+        &mut self,
+        rec: std::sync::Arc<nexuspp_obs::Recorder>,
+        tag_of: fn(&T) -> u64,
+    ) {
+        self.obs = Some(SchedObs { rec, tag_of });
     }
 
     /// Which implementation this scheduler runs.
@@ -209,7 +233,7 @@ impl<T: Send> Scheduler<T> {
     pub fn next(&self, h: &WorkerHandle<T>) -> Option<T> {
         match &self.imp {
             Imp::Mutex(m) => m.next(&self.metrics),
-            Imp::Ws(ws) => ws.next(h, &self.metrics),
+            Imp::Ws(ws) => ws.next(h, &self.metrics, self.obs.as_ref()),
         }
     }
 

@@ -22,9 +22,10 @@
 //! wake can be spurious but never lost.
 
 use crate::metrics::SchedMetrics;
-use crate::WorkerHandle;
+use crate::{SchedObs, WorkerHandle};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use nexuspp_core::Priority;
+use nexuspp_obs::{EventKind, NO_SHARD, NO_TASK};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -102,13 +103,18 @@ impl<T: Send> WorkStealScheduler<T> {
 
     /// Blocking pop. Returns `None` only after shutdown with no work
     /// found in a full sweep.
-    pub(crate) fn next(&self, h: &WorkerHandle<T>, metrics: &SchedMetrics) -> Option<T> {
+    pub(crate) fn next(
+        &self,
+        h: &WorkerHandle<T>,
+        metrics: &SchedMetrics,
+        obs: Option<&SchedObs<T>>,
+    ) -> Option<T> {
         loop {
             // Two sweeps with a yield between them: on a saturated host
             // this gives the producers a chance to publish before we pay
             // for the parking handshake.
             for round in 0..2 {
-                if let Some(item) = self.try_find(h, metrics) {
+                if let Some(item) = self.try_find(h, metrics, obs) {
                     return Some(item);
                 }
                 if round == 0 {
@@ -127,7 +133,7 @@ impl<T: Send> WorkStealScheduler<T> {
             // Phase 2: re-check. Work published before our registration
             // is necessarily visible here; work published after it will
             // find us in the sleeper stack and unpark us.
-            if let Some(item) = self.try_find(h, metrics) {
+            if let Some(item) = self.try_find(h, metrics, obs) {
                 self.cancel_park(h.id);
                 return Some(item);
             }
@@ -136,6 +142,9 @@ impl<T: Send> WorkStealScheduler<T> {
                 return None;
             }
             SchedMetrics::bump(&metrics.parks);
+            if let Some(o) = obs {
+                o.rec.emit(EventKind::Stalled, NO_TASK, NO_SHARD);
+            }
             {
                 let parker = &self.parkers[h.id];
                 let mut flag = parker.flag.lock();
@@ -143,6 +152,9 @@ impl<T: Send> WorkStealScheduler<T> {
                     parker.cv.wait(&mut flag);
                 }
                 *flag = false;
+            }
+            if let Some(o) = obs {
+                o.rec.emit(EventKind::Resumed, NO_TASK, NO_SHARD);
             }
             // A wake token can be stale (an unparker that lost the
             // `cancel_park` race on an earlier cycle), in which case our
@@ -155,7 +167,12 @@ impl<T: Send> WorkStealScheduler<T> {
     }
 
     /// One full sweep over every source, in policy order.
-    fn try_find(&self, h: &WorkerHandle<T>, metrics: &SchedMetrics) -> Option<T> {
+    fn try_find(
+        &self,
+        h: &WorkerHandle<T>,
+        metrics: &SchedMetrics,
+        obs: Option<&SchedObs<T>>,
+    ) -> Option<T> {
         if let Steal::Success(item) = self.high.steal() {
             SchedMetrics::bump(&metrics.high_pops);
             return Some(item);
@@ -181,6 +198,9 @@ impl<T: Send> WorkStealScheduler<T> {
                 match self.stealers[victim].steal() {
                     Steal::Success(item) => {
                         SchedMetrics::bump(&metrics.steals);
+                        if let Some(o) = obs {
+                            o.rec.emit(EventKind::Stolen, (o.tag_of)(&item), NO_SHARD);
+                        }
                         return Some(item);
                     }
                     Steal::Retry => contended = true,

@@ -56,6 +56,7 @@
 use crate::engine::route_params;
 use crossbeam::queue::{PushList, SegQueue};
 use nexuspp_core::{DependencyEngine, NexusConfig, ShardCapacity, SubmitError, TdIndex};
+use nexuspp_obs::{EventKind, Recorder, NO_SHARD};
 use nexuspp_trace::Param;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -195,6 +196,11 @@ pub struct CapacityCounts {
     /// to the episode's first full shard). Equals `stalls_observed` once
     /// no submitter is parked.
     pub retries_resolved: u64,
+    /// Nanoseconds submitters spent parked on this shard, summed over
+    /// resolved stall episodes (attributed, like the episode counters,
+    /// to the episode's first full shard). The paper's master-core
+    /// stall *time*, not just its episode count.
+    pub stall_ns: u64,
     /// Tasks currently holding a residency slot on this shard.
     pub resident: usize,
 }
@@ -217,6 +223,7 @@ struct ShardCell<P> {
     unpark: Condvar,
     stalls: AtomicU64,
     retries_resolved: AtomicU64,
+    stall_ns: AtomicU64,
 }
 
 struct ShardState<P> {
@@ -236,6 +243,11 @@ pub struct ShardDispatcher<P> {
     capacity: ShardCapacity,
     wake_mode: WakeMode,
     wake_metrics: WakeMetrics,
+    /// Lifecycle event sink. `None` (the default) is the zero-cost
+    /// production shape: every emission site is one `Option` branch.
+    /// Recording itself is lock-free (see `nexuspp_obs::Recorder`), so
+    /// attaching an enabled recorder adds zero shard-lock acquisitions.
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<P> ShardDispatcher<P> {
@@ -295,11 +307,42 @@ impl<P> ShardDispatcher<P> {
                     unpark: Condvar::new(),
                     stalls: AtomicU64::new(0),
                     retries_resolved: AtomicU64::new(0),
+                    stall_ns: AtomicU64::new(0),
                 })
                 .collect(),
             capacity,
             wake_mode,
             wake_metrics: WakeMetrics::default(),
+            obs: None,
+        }
+    }
+
+    /// Attach a lifecycle event recorder: the dispatcher emits
+    /// `Submitted`/`DepCheckStart`/`DepCheckDone`/`Stalled`/`Resumed`/
+    /// `Ready`/`WakePosted`/`WakeDelivered`/`Finished` events into it.
+    /// Pass [`Recorder::disabled`] to keep the no-op fast path while
+    /// exercising the plumbing.
+    pub fn with_recorder(mut self, obs: Arc<Recorder>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
+    }
+
+    #[inline]
+    fn emit(&self, kind: EventKind, task: u64, shard: u32) {
+        if let Some(r) = &self.obs {
+            r.emit(kind, task, shard);
+        }
+    }
+
+    #[inline]
+    fn emit_edge(&self, kind: EventKind, task: u64, aux: u64, shard: u32) {
+        if let Some(r) = &self.obs {
+            r.emit_edge(kind, task, aux, shard);
         }
     }
 
@@ -353,6 +396,7 @@ impl<P> ShardDispatcher<P> {
             .map(|c| CapacityCounts {
                 stalls_observed: c.stalls.load(Ordering::Relaxed),
                 retries_resolved: c.retries_resolved.load(Ordering::Relaxed),
+                stall_ns: c.stall_ns.load(Ordering::Relaxed),
                 resident: c.resident.load(Ordering::Relaxed) as usize,
             })
             .collect()
@@ -414,28 +458,37 @@ impl<P> ShardDispatcher<P> {
     /// back in [`SubmitResult::ready`].
     pub fn submit(&self, fptr: u64, tag: u64, params: &[Param], payload: P) -> SubmitResult<P> {
         let groups = route_params(params, self.shards.len());
+        self.emit(
+            EventKind::Submitted,
+            tag,
+            groups.first().map_or(NO_SHARD, |g| g.0),
+        );
         if self.capacity.is_bounded() {
             // One stall episode per submit call: counted once against the
-            // first full shard, resolved once when the reservation lands.
-            let mut episode: Option<u32> = None;
+            // first full shard, resolved once when the reservation lands,
+            // with the episode's wall time accrued to that shard.
+            let mut episode: Option<(u32, std::time::Instant)> = None;
             loop {
                 match self.try_reserve(&groups) {
                     Ok(()) => break,
                     Err(full) => {
                         if episode.is_none() {
-                            episode = Some(full);
+                            episode = Some((full, std::time::Instant::now()));
                             self.shards[full as usize]
                                 .stalls
                                 .fetch_add(1, Ordering::Relaxed);
+                            self.emit(EventKind::Stalled, tag, full);
                         }
                         self.park_on(full);
                     }
                 }
             }
-            if let Some(first) = episode {
-                self.shards[first as usize]
-                    .retries_resolved
-                    .fetch_add(1, Ordering::Relaxed);
+            if let Some((first, t0)) = episode {
+                let cell = &self.shards[first as usize];
+                cell.stall_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                cell.retries_resolved.fetch_add(1, Ordering::Relaxed);
+                self.emit(EventKind::Resumed, tag, first);
             }
         }
         self.submit_reserved(fptr, tag, groups, payload)
@@ -467,6 +520,11 @@ impl<P> ShardDispatcher<P> {
             let limit = self.capacity.limit().expect("unbounded always admits");
             return Err((SubmitError::CapacityFull { shard: full, limit }, payload));
         }
+        self.emit(
+            EventKind::Submitted,
+            tag,
+            groups.first().map_or(NO_SHARD, |g| g.0),
+        );
         Ok(self.submit_reserved(fptr, tag, groups, payload))
     }
 
@@ -478,6 +536,8 @@ impl<P> ShardDispatcher<P> {
         groups: Vec<(u32, Vec<Param>)>,
         payload: P,
     ) -> SubmitResult<P> {
+        let first_shard = groups.first().map_or(NO_SHARD, |g| g.0);
+        self.emit(EventKind::DepCheckStart, tag, first_shard);
         let node = Arc::new(Node {
             tag,
             pending: AtomicU32::new(groups.len() as u32 + 1),
@@ -506,6 +566,10 @@ impl<P> ShardDispatcher<P> {
         }
         node.parts.set(parts).expect("parts set exactly once");
         *node.payload.lock() = Some(payload);
+        // DepCheckDone is emitted before the guard release: the guard's
+        // AcqRel decrement chain makes it happen-before any waker's
+        // `Ready` emission for this task, so per-task event order holds.
+        self.emit(EventKind::DepCheckDone, tag, first_shard);
         // Release the submission guard. Whoever performs the transition
         // to zero — this thread or a concurrent waker that decremented
         // first — takes the payload and schedules the task.
@@ -514,6 +578,9 @@ impl<P> ShardDispatcher<P> {
         } else {
             None
         };
+        if ready.is_some() {
+            self.emit(EventKind::Ready, tag, first_shard);
+        }
         SubmitResult {
             ticket: TaskTicket(node),
             ready,
@@ -535,6 +602,7 @@ impl<P> ShardDispatcher<P> {
         if parts.is_empty() {
             // Parameterless task: no shard holds state for it.
             report.completed = 1;
+            self.emit(EventKind::Finished, node.tag, NO_SHARD);
             return report;
         }
         for &(s, td) in parts {
@@ -589,6 +657,7 @@ impl<P> ShardDispatcher<P> {
     fn drain_ring_locked(&self, s: usize, report: &mut FinishReport<P>) {
         let cell = &self.shards[s];
         let mut drained = 0u32;
+        let mut finished: Vec<u64> = Vec::new();
         let mut st = cell.state.lock();
         while let Some((node, td)) = cell.ring.pop() {
             let fin = st.engine.finish(td);
@@ -605,14 +674,20 @@ impl<P> ShardDispatcher<P> {
                         .lock()
                         .take()
                         .expect("ready task must hold its payload");
+                    self.emit_edge(EventKind::Ready, wnode.tag, node.tag, s as u32);
+                    self.emit_edge(EventKind::WakePosted, wnode.tag, node.tag, s as u32);
                     st.kickoff.push_back((wnode, payload));
                 }
             }
             if node.parts_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                 report.completed += 1;
+                finished.push(node.tag);
             }
         }
         drop(st);
+        for tag in finished {
+            self.emit(EventKind::Finished, tag, s as u32);
+        }
         if drained > 0 && self.capacity.is_bounded() {
             self.release_slots(s, drained);
         }
@@ -625,35 +700,46 @@ impl<P> ShardDispatcher<P> {
     fn drain_ring_lock_free(&self, s: usize, report: &mut FinishReport<P>) {
         let cell = &self.shards[s];
         let mut drained = 0u32;
-        let mut woken_nodes: Vec<Arc<Node<P>>> = Vec::new();
+        // Each woken home record is carried with its waker's tag so the
+        // post-lock wake path can stamp the realized dependence edge
+        // onto the `Ready`/`WakePosted` events.
+        let mut woken_nodes: Vec<(Arc<Node<P>>, u64)> = Vec::new();
+        let mut finished: Vec<u64> = Vec::new();
         let mut st = cell.state.lock();
         while let Some((node, td)) = cell.ring.pop() {
             let fin = st.engine.finish(td);
             st.owner[td.0 as usize] = None;
             drained += 1;
             for woken in fin.newly_ready {
-                woken_nodes.push(
+                woken_nodes.push((
                     st.owner[woken.0 as usize]
                         .as_ref()
                         .expect("woken sub-descriptor must have an owner")
                         .clone(),
-                );
+                    node.tag,
+                ));
             }
             if node.parts_left.fetch_sub(1, Ordering::AcqRel) == 1 {
                 report.completed += 1;
+                finished.push(node.tag);
             }
         }
         drop(st);
+        for tag in finished {
+            self.emit(EventKind::Finished, tag, s as u32);
+        }
         // Post wakes lock-free. Exactly one decrement per woken slice
         // (same as the locked path), and exactly one thread — whoever
         // performs the transition to zero — takes the payload and posts.
-        for wnode in woken_nodes {
+        for (wnode, waker) in woken_nodes {
             if wnode.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
                 let payload = wnode
                     .payload
                     .lock()
                     .take()
                     .expect("ready task must hold its payload");
+                self.emit_edge(EventKind::Ready, wnode.tag, waker, s as u32);
+                self.emit_edge(EventKind::WakePosted, wnode.tag, waker, s as u32);
                 cell.wakes.push((wnode, payload));
             }
         }
@@ -671,6 +757,7 @@ impl<P> ShardDispatcher<P> {
             .fetch_add(1, Ordering::Relaxed);
         let mut st = self.shards[s].state.lock();
         while let Some((node, payload)) = st.kickoff.pop_front() {
+            self.emit(EventKind::WakeDelivered, node.tag, s as u32);
             report.woken.push((TaskTicket(node), payload));
         }
     }
@@ -697,6 +784,7 @@ impl<P> ShardDispatcher<P> {
             }
             let before = report.woken.len();
             for (node, payload) in cell.wakes.drain() {
+                self.emit(EventKind::WakeDelivered, node.tag, s as u32);
                 report.woken.push((TaskTicket(node), payload));
             }
             cell.wake_owner.store(false, Ordering::SeqCst);

@@ -43,15 +43,6 @@ use nexuspp_core::{
 use nexuspp_trace::Param;
 use std::fmt;
 
-/// Why a task could not be admitted (same retry semantics as the single
-/// engine: `PoolFull` clears after completions, `TaskTooLarge` never).
-#[deprecated(
-    since = "0.1.0",
-    note = "superseded by nexuspp_core::SubmitError, the unified submission \
-            error surface (see ShardedEngine::submit_task / try_admit_task)"
-)]
-pub type AdmitError = PoolError;
-
 /// An admission rejection attributed to the shard that caused it, so a
 /// stalling front-end (the multi-Maestro master, the batched submitter)
 /// knows which shard's next finish report to park on.
@@ -247,6 +238,14 @@ pub struct ShardedEngine {
     wake_lists: Vec<Vec<TaskId>>,
     /// Deepest each shard's wake list has been at a post/drain boundary.
     wake_peak: Vec<usize>,
+    /// Per shard: when the currently-open bounded-batch stall episode on
+    /// that shard began (`None` when not stalled there). Opened by a
+    /// `submit_batch_bounded` call that parks members on the shard,
+    /// closed by a later call that admits a member touching it.
+    stall_open: Vec<Option<std::time::Instant>>,
+    /// Per shard: nanoseconds of closed stall episodes (the wall time
+    /// parked batch members waited for the shard, see `stall_ns_on`).
+    stall_ns: Vec<u64>,
     in_flight: usize,
 }
 
@@ -275,6 +274,8 @@ impl ShardedEngine {
             owner: vec![Vec::new(); n_shards],
             wake_lists: vec![Vec::new(); n_shards],
             wake_peak: vec![0; n_shards],
+            stall_open: vec![None; n_shards],
+            stall_ns: vec![0; n_shards],
             in_flight: 0,
         }
     }
@@ -309,6 +310,17 @@ impl ShardedEngine {
     /// fan-in pressure metric `repro -- wakes` sweeps).
     pub fn peak_wake_depth(&self, s: usize) -> usize {
         self.wake_peak[s]
+    }
+
+    /// Nanoseconds bounded-batch members spent parked on shard `s`,
+    /// summed over *closed* stall episodes: an episode opens when a
+    /// [`submit_batch_bounded`](Self::submit_batch_bounded) call parks
+    /// members on a full shard `s`, and closes when a later call admits
+    /// a member touching `s` (progress was made, so the park is over).
+    /// The single-threaded analogue of the dispatcher's
+    /// `CapacityCounts::stall_ns`.
+    pub fn stall_ns_on(&self, s: usize) -> u64 {
+        self.stall_ns[s]
     }
 
     /// Which shard owns `addr` under this engine's partition.
@@ -668,6 +680,7 @@ impl ShardedEngine {
         // Walk the batch against a shadow residency tally to find the
         // longest admissible prefix.
         let mut shadow = self.resident.clone();
+        let mut touched = vec![false; self.shards.len()];
         let mut accepted = 0usize;
         let mut stalled = None;
         'members: for (_, _, params) in &batch {
@@ -680,8 +693,26 @@ impl ShardedEngine {
             }
             for (s, _) in &groups {
                 shadow[*s as usize] += 1;
+                touched[*s as usize] = true;
             }
             accepted += 1;
+        }
+        // Stall-time accounting: admitting a member that touches a shard
+        // closes any open stall episode there (the parked members' wait
+        // made progress); parking members opens an episode on the full
+        // shard unless one is already running.
+        for (s, hit) in touched.iter().enumerate() {
+            if *hit {
+                if let Some(t0) = self.stall_open[s].take() {
+                    self.stall_ns[s] += t0.elapsed().as_nanos() as u64;
+                }
+            }
+        }
+        if let Some(s) = stalled {
+            let slot = &mut self.stall_open[s as usize];
+            if slot.is_none() {
+                *slot = Some(std::time::Instant::now());
+            }
         }
         let mut batch = batch;
         let parked = batch.split_off(accepted);

@@ -22,8 +22,8 @@
 //! exactly the path this comparison isolates.
 
 use crate::dispatch::{ShardDispatcher, TaskTicket, WakeCounts, WakeMode};
-use nexuspp_core::{nth_addr_on_shard, NexusConfig};
-use nexuspp_trace::Param;
+use nexuspp_core::{nth_addr_on_shard, NexusConfig, TaskBuilder};
+use nexuspp_obs::Recorder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -107,23 +107,42 @@ impl WakeRun {
 /// task is lost or duplicated (the differential suites guard semantics;
 /// here it protects the measurement).
 pub fn run_wake_stress(mode: WakeMode, spec: &WakeStressSpec) -> WakeRun {
+    run_wake_stress_with(mode, spec, None)
+}
+
+/// [`run_wake_stress`] with an optional lifecycle-event recorder
+/// attached to the dispatcher — the harness behind the recording-
+/// overhead gate (a [`Recorder::disabled`] recorder must cost within
+/// noise of no recorder at all) and behind event-stream validation on a
+/// contended workload.
+pub fn run_wake_stress_with(
+    mode: WakeMode,
+    spec: &WakeStressSpec,
+    obs: Option<Arc<Recorder>>,
+) -> WakeRun {
     assert!(spec.finishers >= 1 && spec.producers >= 1);
-    let d = Arc::new(ShardDispatcher::<u64>::with_mode(
+    let mut d = ShardDispatcher::<u64>::with_mode(
         spec.shards,
         &NexusConfig::unbounded(),
         nexuspp_core::ShardCapacity::Unbounded,
         mode,
-    ));
+    );
+    if let Some(rec) = obs {
+        d = d.with_recorder(rec);
+    }
+    let d = Arc::new(d);
     // Submit every producer (independent: ready at once) and park every
     // consumer behind its producer's address.
     let mut ready: Vec<(TaskTicket<u64>, u64)> = Vec::with_capacity(spec.producers as usize);
     for p in 0..spec.producers {
         let addr = spec.producer_addr(p);
-        let r = d.submit(1, p as u64, &[Param::output(addr, 16)], p as u64);
+        let sub = TaskBuilder::new(1).tag(p as u64).writes(addr, 16).build();
+        let r = d.submit(sub.fptr, sub.tag, &sub.params, p as u64);
         ready.push((r.ticket, r.ready.expect("producers are independent")));
         for c in 0..spec.consumers_per {
             let tag = 1000 + p as u64 * spec.consumers_per as u64 + c as u64;
-            let r = d.submit(1, tag, &[Param::input(addr, 16)], tag);
+            let sub = TaskBuilder::new(1).tag(tag).reads(addr, 16).build();
+            let r = d.submit(sub.fptr, sub.tag, &sub.params, tag);
             assert!(r.ready.is_none(), "consumers must park on their producer");
             drop(r.ticket); // resurfaces via some finisher's report
         }

@@ -1,0 +1,78 @@
+//! The recording-overhead acceptance gates.
+//!
+//! 1. A **disabled** recorder threaded through the dispatcher must cost
+//!    within noise of no recorder at all on the wake-stress workload —
+//!    the no-op path is one branch on an `Option`, taken before any
+//!    clock read or atomic. Gated at 5% (plus a small absolute slack so
+//!    micro-runs on a noisy host don't flake the relative bound).
+//! 2. **Enabled** recording must not reintroduce shard-lock traffic on
+//!    the lock-free wake path: the dispatcher emits wake events outside
+//!    the shard locks, so `delivery_lock_acquisitions` stays zero under
+//!    [`WakeMode::LockFree`] with a live recorder attached.
+
+use nexuspp_obs::Recorder;
+use nexuspp_shard::stress::{run_wake_stress_with, WakeStressSpec};
+use nexuspp_shard::WakeMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROUNDS: usize = 5;
+
+fn spec() -> WakeStressSpec {
+    WakeStressSpec {
+        finishers: 4,
+        producers: 256,
+        consumers_per: 64,
+        shards: 4,
+    }
+}
+
+/// Best-of-N wall clock, interleaved with the competing configuration
+/// by the caller so both see the same machine conditions.
+fn timed(mode: WakeMode, rec: Option<Arc<Recorder>>) -> Duration {
+    run_wake_stress_with(mode, &spec(), rec).elapsed
+}
+
+#[test]
+fn disabled_recorder_overhead_within_five_percent() {
+    let spec_check = spec();
+    assert_eq!(spec_check.finishers, 4, "the gate is defined at 4 workers");
+    // Warm-up: fault in both code paths before timing anything.
+    timed(WakeMode::LockFree, None);
+    timed(WakeMode::LockFree, Some(Arc::new(Recorder::disabled())));
+    let mut base = Duration::MAX;
+    let mut with_disabled = Duration::MAX;
+    for _ in 0..ROUNDS {
+        base = base.min(timed(WakeMode::LockFree, None));
+        with_disabled = with_disabled.min(timed(
+            WakeMode::LockFree,
+            Some(Arc::new(Recorder::disabled())),
+        ));
+    }
+    // 5% relative + 2ms absolute: the relative term is the gate, the
+    // absolute term absorbs scheduler jitter when the whole run is a
+    // few milliseconds.
+    let bound = base.mul_f64(1.05) + Duration::from_millis(2);
+    assert!(
+        with_disabled <= bound,
+        "disabled recorder overhead too high: baseline {base:?}, with disabled recorder \
+         {with_disabled:?} (bound {bound:?})"
+    );
+}
+
+#[test]
+fn enabled_recording_keeps_wake_path_lock_free() {
+    // Oversized rings: the submitting thread alone emits ~3 events per
+    // task into one lane, and the gate below requires zero drops.
+    let rec = Arc::new(Recorder::with_capacity(8, 1 << 17));
+    let run = run_wake_stress_with(WakeMode::LockFree, &spec(), Some(Arc::clone(&rec)));
+    assert_eq!(
+        run.wake_counts.delivery_lock_acquisitions, 0,
+        "recording must not add shard-lock acquisitions to the lock-free wake path"
+    );
+    // The run was actually observed: a live stream with no overflow.
+    assert!(rec.recorded() > 0);
+    assert_eq!(rec.dropped(), 0, "size the rings for the workload");
+    let events = rec.drain();
+    assert_eq!(events.len() as u64, rec.recorded());
+}

@@ -25,8 +25,9 @@
 //! For n = 5000 the trace has 12 502 499 tasks, so [`GaussianSource`]
 //! synthesizes tasks on demand instead of materializing them.
 
+use nexuspp_core::TaskBuilder;
 use nexuspp_desim::SimTime;
-use nexuspp_trace::{MemCost, Param, TaskRecord, Trace, TraceSource};
+use nexuspp_trace::{MemCost, TaskRecord, Trace, TraceSource};
 
 /// Gaussian-elimination benchmark parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,22 +101,20 @@ impl GaussianSpec {
         let w = self.weight(j, i);
         let bytes = w * self.elem_bytes as u64;
         let col_bytes = self.n * self.elem_bytes;
-        let params = if i == j {
-            vec![Param::inout(self.col_addr(i), col_bytes)]
+        let t = if i == j {
+            // Pivot kernel.
+            TaskBuilder::new(0x6A05).read_writes(self.col_addr(i), col_bytes)
         } else {
-            vec![
-                Param::input(self.col_addr(i), col_bytes),
-                Param::inout(self.col_addr(j), col_bytes),
-            ]
+            // Update kernel.
+            TaskBuilder::new(0x6A06)
+                .reads(self.col_addr(i), col_bytes)
+                .read_writes(self.col_addr(j), col_bytes)
         };
-        TaskRecord {
-            id,
-            fptr: if i == j { 0x6A05 } else { 0x6A06 }, // pivot vs update kernels
-            params,
-            exec: SimTime::from_ns_f64(w as f64 / self.gflops_per_core),
-            read: MemCost::Bytes(bytes),
-            write: MemCost::Bytes(bytes),
-        }
+        t.tag(id).record(
+            SimTime::from_ns_f64(w as f64 / self.gflops_per_core),
+            MemCost::Bytes(bytes),
+            MemCost::Bytes(bytes),
+        )
     }
 
     /// Streaming source generating tasks in serial execution order.

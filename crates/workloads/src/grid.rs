@@ -20,8 +20,9 @@
 //!   scalability benchmark behind the 54×/143×/221× headline numbers.
 
 use crate::timing::H264Timing;
+use nexuspp_core::TaskBuilder;
 use nexuspp_desim::Rng;
-use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+use nexuspp_trace::{MemCost, Trace};
 
 /// Which Figure 4 dependency pattern to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -121,47 +122,41 @@ impl GridSpec {
         for i in 0..self.rows {
             for j in 0..self.cols {
                 let id = (i as u64) * self.cols as u64 + j as u64;
-                let mut params = Vec::with_capacity(3);
+                let mut t = TaskBuilder::new(0xDEC0DE).tag(id);
                 match pattern {
                     GridPattern::Wavefront => {
                         if j > 0 {
-                            params.push(Param::input(self.block_addr(i, j - 1), b));
+                            t = t.reads(self.block_addr(i, j - 1), b);
                         }
                         if i > 0 && j + 1 < self.cols {
-                            params.push(Param::input(self.block_addr(i - 1, j + 1), b));
+                            t = t.reads(self.block_addr(i - 1, j + 1), b);
                         }
-                        params.push(Param::inout(self.block_addr(i, j), b));
+                        t = t.read_writes(self.block_addr(i, j), b);
                     }
                     GridPattern::Horizontal => {
                         if j > 0 {
-                            params.push(Param::input(self.block_addr(i, j - 1), b));
+                            t = t.reads(self.block_addr(i, j - 1), b);
                         }
-                        params.push(Param::inout(self.block_addr(i, j), b));
+                        t = t.read_writes(self.block_addr(i, j), b);
                     }
                     GridPattern::Vertical => {
                         if i > 0 {
-                            params.push(Param::input(self.block_addr(i - 1, j), b));
+                            t = t.reads(self.block_addr(i - 1, j), b);
                         }
-                        params.push(Param::inout(self.block_addr(i, j), b));
+                        t = t.read_writes(self.block_addr(i, j), b);
                     }
                     GridPattern::Independent => {
                         // Same 3-parameter shape as a wavefront interior
                         // task, but on task-private addresses.
                         let p = private_base + id * 4 * b as u64;
-                        params.push(Param::input(p, b));
-                        params.push(Param::input(p + b as u64, b));
-                        params.push(Param::inout(p + 2 * b as u64, b));
+                        t = t
+                            .reads(p, b)
+                            .reads(p + b as u64, b)
+                            .read_writes(p + 2 * b as u64, b);
                     }
                 }
                 let (exec, read, write) = self.timing.sample(&mut rng);
-                tasks.push(TaskRecord {
-                    id,
-                    fptr: 0xDEC0DE,
-                    params,
-                    exec,
-                    read: MemCost::Time(read),
-                    write: MemCost::Time(write),
-                });
+                tasks.push(t.record(exec, MemCost::Time(read), MemCost::Time(write)));
             }
         }
         Trace::from_tasks(pattern.name(), tasks)

@@ -17,8 +17,9 @@
 
 use crate::grid::GridSpec;
 use crate::timing::H264Timing;
+use nexuspp_core::TaskBuilder;
 use nexuspp_desim::Rng;
-use nexuspp_trace::{MemCost, Param, TaskRecord, Trace};
+use nexuspp_trace::{MemCost, Trace};
 
 /// Multi-frame decode benchmark parameters.
 #[derive(Debug, Clone)]
@@ -76,28 +77,21 @@ impl VideoSpec {
         for f in 0..self.frames {
             for i in 0..self.grid.rows {
                 for j in 0..self.grid.cols {
-                    let mut params = Vec::with_capacity(4);
+                    let mut t = TaskBuilder::new(0xDEC1).tag(id);
                     if j > 0 {
-                        params.push(Param::input(self.block_addr(f, i, j - 1), b));
+                        t = t.reads(self.block_addr(f, i, j - 1), b);
                     }
                     if i > 0 && j + 1 < self.grid.cols {
-                        params.push(Param::input(self.block_addr(f, i - 1, j + 1), b));
+                        t = t.reads(self.block_addr(f, i - 1, j + 1), b);
                     }
                     if self.inter_frame && f > 0 {
                         // Motion-compensation reference: co-located block
                         // of the previous frame.
-                        params.push(Param::input(self.block_addr(f - 1, i, j), b));
+                        t = t.reads(self.block_addr(f - 1, i, j), b);
                     }
-                    params.push(Param::inout(self.block_addr(f, i, j), b));
+                    t = t.read_writes(self.block_addr(f, i, j), b);
                     let (exec, read, write) = self.grid.timing.sample(&mut rng);
-                    tasks.push(TaskRecord {
-                        id,
-                        fptr: 0xDEC1,
-                        params,
-                        exec,
-                        read: MemCost::Time(read),
-                        write: MemCost::Time(write),
-                    });
+                    tasks.push(t.record(exec, MemCost::Time(read), MemCost::Time(write)));
                     id += 1;
                 }
             }

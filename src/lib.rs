@@ -24,6 +24,9 @@
 //!   shards, like the real hardware tables),
 //! * [`taskmachine`] — the full-system "Task Machine" simulator, plus the
 //!   multi-Maestro sharded variant,
+//! * [`obs`] — the observability layer: lifecycle event tracing with
+//!   lock-free bounded rings, a metrics registry over every layer's
+//!   counters, Chrome-trace export and critical-path analysis,
 //! * [`sched`] — the ready-task scheduling layer: per-worker
 //!   work-stealing deques with a lock-free injector (default) and the
 //!   global mutex-queue baseline, behind one `SchedulerKind` knob,
@@ -161,6 +164,7 @@ pub use nexuspp_core as core;
 pub use nexuspp_desim as desim;
 pub use nexuspp_frontend as frontend;
 pub use nexuspp_hw as hw;
+pub use nexuspp_obs as obs;
 pub use nexuspp_runtime as runtime;
 pub use nexuspp_sched as sched;
 pub use nexuspp_shard as shard;
