@@ -1,18 +1,26 @@
-//! Wake-delivery throughput: locked kick-off lists vs lock-free wake
+//! Wake-delivery performance: locked kick-off lists vs lock-free wake
 //! lists on the wide fan-in `wake_stress` workload.
 //!
 //! Two views:
 //!
 //! * `wake_delivery/dispatcher` — the threaded `ShardDispatcher` alone,
 //!   via the harness in `nexuspp_shard::stress` (payloads are `u64`s):
-//!   4 finisher workers hammer one hot shard. This is the layer where
-//!   the acceptance bar lives — the ≥ 1.3× delivery-time comparison
-//!   (and the zero-shard-lock-acquisition invariant) is asserted
-//!   deterministically in `nexuspp-shard`'s `wake_perf` test; the lines
-//!   printed here are the same measurement under criterion timing.
+//!   4 finisher workers hammer one hot shard at the **same contended
+//!   configuration the ≥ 1.3× acceptance gate measures** (256
+//!   producers × 24 consumers each). What is timed (via `iter_custom`)
+//!   is the dispatcher's own `delivery_ns` counter — the drain-to-
+//!   report step the gate compares — NOT whole-run wall clock. The two
+//!   wake modes do identical resolution work, so wall clock around the
+//!   full run is mode-blind (on a small host it is pinned by
+//!   resolution) and an earlier configuration of this bench recorded
+//!   exactly that: locked ≈ lock-free to within 0.4%. Timing the
+//!   delivery step itself makes the trajectory reflect the quantity
+//!   the gate holds at ≥ 1.3×.
 //! * `wake_delivery/runtime` — end to end through `ShardedRuntime`
 //!   (work-stealing scheduler, region bookkeeping, real closures), so
-//!   the wake path's share of total runtime overhead is visible.
+//!   the wake path's share of total runtime overhead is visible. Here
+//!   wall clock is the right measure and near-parity is the expected
+//!   reading.
 //!
 //! Delivery time and lock-acquisition counters are printed per
 //! configuration so a lock sneaking back into the wake path shows up
@@ -22,15 +30,19 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nexuspp_runtime::{SchedulerKind, ShardCapacity, ShardedRuntime};
 use nexuspp_shard::stress::{run_wake_stress, WakeStressSpec};
 use nexuspp_shard::WakeMode;
+use std::time::Duration;
 
 const MODES: [WakeMode; 2] = [WakeMode::Locked, WakeMode::LockFree];
 
 fn bench_dispatcher_layer(c: &mut Criterion) {
+    // The wake_perf gate's spec: 4 finishers racing 256 bursts of 24
+    // wakes through one hot shard.
     let spec = WakeStressSpec {
         finishers: 4,
-        producers: 128,
-        consumers_per: 16,
+        producers: 256,
+        consumers_per: 24,
         shards: 4,
+        spin_ns: 0,
     };
     let mut g = c.benchmark_group("wake_delivery/dispatcher");
     g.sample_size(10);
@@ -39,14 +51,21 @@ fn bench_dispatcher_layer(c: &mut Criterion) {
         // One reporting run outside the timer for the counters.
         let r = run_wake_stress(mode, &spec);
         println!(
-            "dispatcher/{}: {} wakes, delivery {:?}, {} delivery lock acquisitions",
+            "dispatcher/{}: {} wakes, delivery {:?}, wall {:?}, {} delivery lock acquisitions",
             mode.name(),
             r.woken,
             r.delivery_time(),
+            r.elapsed,
             r.wake_counts.delivery_lock_acquisitions
         );
         g.bench_function(mode.name(), |b| {
-            b.iter(|| run_wake_stress(mode, &spec));
+            b.iter_custom(|iters| {
+                let mut delivery = Duration::ZERO;
+                for _ in 0..iters {
+                    delivery += run_wake_stress(mode, &spec).delivery_time();
+                }
+                delivery
+            });
         });
     }
     g.finish();
@@ -54,7 +73,7 @@ fn bench_dispatcher_layer(c: &mut Criterion) {
 
 fn bench_runtime_level(c: &mut Criterion) {
     let mut g = c.benchmark_group("wake_delivery/runtime");
-    g.sample_size(10);
+    g.sample_size(5);
     let producers = 32u32;
     let consumers_per = 16u32;
     g.throughput(criterion::Throughput::Elements(

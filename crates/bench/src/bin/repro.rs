@@ -27,23 +27,145 @@
 //!   --full     include long configurations (Gaussian n = 3000, 5000)
 //!   --quick    shrink sweeps (smoke test)
 //!   --csv DIR  also write CSV files under DIR
+//!
+//! other subcommands (own flags):
+//!   watch       live dashboard over a streaming run
+//!               [--quick] [--csv DIR] [--frames N]
+//!   bench-diff  compare two criterion summary JSON files
+//!               [--threshold PCT] [--strict] OLD NEW
 //! ```
 
 use nexuspp_bench::experiments::{self, Experiment};
-use nexuspp_bench::ExpOptions;
+use nexuspp_bench::{benchdiff, watch, ExpOptions};
+use std::io::IsTerminal;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|observe|all> \
-         [--full] [--quick] [--csv DIR]"
+         [--full] [--quick] [--csv DIR]\n       \
+         repro watch [--quick] [--csv DIR] [--frames N]\n       \
+         repro bench-diff [--threshold PCT] [--strict] OLD.json NEW.json"
     );
     std::process::exit(2);
+}
+
+/// `repro bench-diff [--threshold PCT] [--strict] OLD NEW` — parse both
+/// summaries, print the per-benchmark delta table, and (only under
+/// `--strict`) exit nonzero when anything regressed past the threshold.
+fn bench_diff(args: impl Iterator<Item = String>) -> ! {
+    let mut threshold = 25.0f64;
+    let mut strict = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let pct = args.next().unwrap_or_else(|| usage());
+                threshold = pct.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --threshold {pct:?}: {e}");
+                    usage()
+                });
+            }
+            "--strict" => strict = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("bench-diff needs exactly two summary files (old, new)");
+        usage();
+    };
+    let load = |path: &str| -> Vec<benchdiff::BenchRecord> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        benchdiff::parse_summary(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let rows = benchdiff::diff(&load(old_path), &load(new_path), threshold);
+    println!("old: {old_path}\nnew: {new_path}");
+    println!("{}", benchdiff::render(&rows, threshold));
+    if benchdiff::has_regressions(&rows) {
+        if strict {
+            eprintln!("[bench-diff] regressions past {threshold:.0}% (strict mode): failing");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[bench-diff] regressions past {threshold:.0}% (warn-only; pass --strict to fail)"
+        );
+    }
+    std::process::exit(0);
+}
+
+/// `repro watch [--quick] [--csv DIR] [--frames N]` — drive a live run
+/// and render the collector's dashboard until the frame budget runs
+/// out. Repaints in place on a terminal; appends frames when piped.
+fn watch_cmd(args: impl Iterator<Item = String>) -> ! {
+    let mut opts = watch::WatchOptions {
+        ansi: std::io::stdout().is_terminal(),
+        ..watch::WatchOptions::default()
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                opts = watch::WatchOptions {
+                    ansi: opts.ansi,
+                    csv_dir: opts.csv_dir.clone(),
+                    ..watch::WatchOptions::quick()
+                };
+            }
+            "--csv" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                opts.csv_dir = Some(dir.into());
+            }
+            "--frames" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.frames = n.parse().unwrap_or_else(|e| {
+                    eprintln!("bad --frames {n:?}: {e}");
+                    usage()
+                });
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let mut stdout = std::io::stdout().lock();
+    match watch::run_watch(&opts, &mut stdout) {
+        Ok(summary) => {
+            if summary.violations > 0 {
+                eprintln!(
+                    "[watch] {} lifecycle violations observed",
+                    summary.violations
+                );
+                std::process::exit(1);
+            }
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[watch] io error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(which) = args.next() else { usage() };
+    match which.as_str() {
+        "bench-diff" => bench_diff(args),
+        "watch" => watch_cmd(args),
+        _ => {}
+    }
     let mut opts = ExpOptions::default();
     while let Some(flag) = args.next() {
         match flag.as_str() {

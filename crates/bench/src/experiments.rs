@@ -1114,6 +1114,7 @@ pub fn wakes(opts: &ExpOptions) -> Experiment {
             producers,
             consumers_per,
             shards: 4,
+            spin_ns: 0,
         };
         let mut locked_delivery = None;
         for mode in modes {

@@ -22,8 +22,10 @@
 //! | bounded shard capacity (extension) | [`experiments::capacity`] | `repro capacity` |
 //! | wake delivery (extension) | [`experiments::wakes`] | `repro wakes` |
 
+pub mod benchdiff;
 pub mod experiments;
 pub mod steal_driver;
 pub mod table;
+pub mod watch;
 
 pub use experiments::ExpOptions;

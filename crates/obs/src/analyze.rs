@@ -75,6 +75,10 @@ pub struct LatencyStats {
     pub mean_ns: f64,
     /// Median latency in nanoseconds.
     pub p50_ns: u64,
+    /// 90th-percentile latency in nanoseconds.
+    pub p90_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
     /// Maximum latency in nanoseconds.
     pub max_ns: u64,
 }
@@ -85,10 +89,13 @@ impl LatencyStats {
             return LatencyStats::default();
         }
         v.sort_unstable();
+        let at = |q: usize| v[(v.len() * q / 100).min(v.len() - 1)];
         LatencyStats {
             count: v.len() as u64,
             mean_ns: v.iter().sum::<u64>() as f64 / v.len() as f64,
             p50_ns: v[v.len() / 2],
+            p90_ns: at(90),
+            p99_ns: at(99),
             max_ns: *v.last().unwrap(),
         }
     }

@@ -1,0 +1,200 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`LogHistogram`] keeps one counter per power-of-two bucket (64
+//! buckets cover the full `u64` nanosecond range), so recording is one
+//! `leading_zeros` plus one increment and the memory footprint is
+//! constant no matter how many samples arrive — which is what lets the
+//! live [`GraphTracker`](crate::GraphTracker) keep full-run stage
+//! latencies online without ever storing the samples themselves.
+//!
+//! Quantiles are answered from the bucket counts: the reported value
+//! for a quantile is the *upper bound* of the bucket the rank lands
+//! in, i.e. within 2× of the true order statistic. That resolution is
+//! deliberate — the post-mortem
+//! [`latency_breakdown`](crate::latency_breakdown) keeps exact
+//! percentiles from the full sample vector; the histogram trades that
+//! exactness for bounded, lock-free-friendly state.
+
+/// A 64-bucket power-of-two latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// `buckets[i]` counts samples `v` with `bucket_index(v) == i`:
+    /// bucket 0 holds `v == 0` and `v == 1`, bucket `i` holds
+    /// `2^(i-1) < v <= 2^i` (i.e. values whose bit length is `i`).
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    // Bit length of v: 0 and 1 share bucket 0, then one bucket per
+    // doubling. 64 - leading_zeros(v) for v > 1.
+    (64 - v.saturating_sub(1).leading_zeros() as usize).min(63)
+}
+
+/// Upper bound of bucket `i`: the largest value mapping to it.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The quantile `q` in `[0, 1]`: the upper bound of the bucket the
+    /// rank `ceil(q * count)` falls in (exact for the max; within 2×
+    /// otherwise). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The top occupied bucket reports the true max instead
+                // of a power-of-two bound.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](LogHistogram::quantile) for resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn buckets_cover_doublings() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        // Every value is <= the upper bound of its bucket.
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1 << 20, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_2x_of_exact() {
+        let mut h = LogHistogram::new();
+        let mut samples: Vec<u64> = (1..=1000).map(|i| i * 37).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for (q, exact_idx) in [(0.5, 499usize), (0.9, 899), (0.99, 989)] {
+            let exact = samples[exact_idx];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q{q}: est {est} < exact {exact}");
+            assert!(est <= exact * 2, "q{q}: est {est} > 2x exact {exact}");
+        }
+        assert_eq!(h.quantile(1.0), *samples.last().unwrap());
+        assert_eq!(h.max(), 37_000);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for i in 0..100 {
+            a.record(i * 3);
+            c.record(i * 3);
+        }
+        for i in 0..50 {
+            b.record(i * 1000);
+            c.record(i * 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a, c);
+    }
+}

@@ -3,7 +3,8 @@
 //! The paper evaluates Nexus++ by watching every station of a task's
 //! life — submission, dependence check, kick-off, execution, finish —
 //! and this crate gives the reproduction the same view over its real
-//! threaded runtimes. It has three parts:
+//! threaded runtimes, both post-mortem and *online*. It has four
+//! parts:
 //!
 //! 1. **Lifecycle events** ([`Event`], [`EventKind`]): twelve
 //!    transition kinds (`Submitted`, `DepCheckStart/Done`,
@@ -25,38 +26,69 @@
 //!    [`observed_critical_path`] over realized wake edges, and a
 //!    Chrome-trace JSON export ([`chrome_trace`]) for
 //!    `chrome://tracing`.
+//! 4. **Online introspection**: an [`EventStream`] with cursor-based
+//!    [`Subscriber`]s drains the rings *while producers still emit*
+//!    (seq-ordered release, per-subscriber lag attribution); a
+//!    background [`Collector`] thread — attached via the runtimes'
+//!    `with_observer` constructors — feeds a live [`GraphTracker`]
+//!    (per-task state machine, wake edges, illegal-transition
+//!    detector, [`LogHistogram`]-backed stage quantiles) and a metrics
+//!    [`Sampler`] (bounded time series of [`MetricsSnapshot`]s with
+//!    rate derivation and JSONL export); [`render_dashboard`] turns a
+//!    [`TrackerSnapshot`] into the `repro -- watch` text UI.
 //!
 //! Event flow:
 //!
 //! ```text
 //!  submitter ──┐                         ┌── Recorder lane 0 (ring)
-//!  worker 0 ───┤  emit(): seq.fetch_add  ├── Recorder lane 1 (ring)
-//!  worker 1 ───┤  + CAS-claim slot       ├── …
+//!  worker 0 ───┤  emit(): CAS-claim slot ├── Recorder lane 1 (ring)
+//!  worker 1 ───┤  + seq.fetch_add        ├── …
 //!  …           │  + release-publish      │
 //!              └── (full ring: dropped++)┘
-//!                                collector: drain() under one mutex,
-//!                                sort by seq → analyze / export
+//!        offline: drain() at quiescence, sort by seq → analyze/export
+//!        online:  EventStream::pump() → seq watermark → Subscribers
+//!                 └─ Collector thread → GraphTracker + Sampler
 //! ```
 //!
 //! The accounting invariant the wraparound tests hold the rings to:
-//! `recorded() + dropped()` equals the number of `emit` calls, always.
+//! `recorded() + dropped()` equals the number of `emit` calls, always —
+//! and because `seq` is allocated only *after* a slot claim succeeds,
+//! the published sequence space is dense, so the stream can release in
+//! strict `seq` order without stalling on gaps that will never fill.
 //! The differential tests in `nexuspp-runtime` go further: at
-//! quiescence, event-derived totals must equal every legacy counter.
+//! quiescence, event-derived totals must equal every legacy counter
+//! (`obs_differential.rs`), and the live tracker's final state must
+//! equal a quiescent replay of the same stream
+//! (`stream_differential.rs`).
 
 #![deny(missing_docs)]
 
 mod analyze;
+mod collector;
 mod event;
 mod export;
+mod hist;
 mod recorder;
 mod registry;
 mod ring;
+mod sampler;
+mod stream;
+mod tracker;
+mod watch;
 
 pub use analyze::{
     latency_breakdown, observed_critical_path, timelines, LatencyBreakdown, LatencyStats,
     ObservedCriticalPath, TaskTimeline,
 };
+pub use collector::{Collector, CollectorConfig, CollectorReport};
 pub use event::{Event, EventKind, NO_SHARD, NO_TASK, NO_WORKER};
 pub use export::{chrome_trace, validate_json};
+pub use hist::LogHistogram;
 pub use recorder::{Recorder, DEFAULT_LANE_CAPACITY};
 pub use registry::{MetricsGroup, MetricsRegistry, MetricsSnapshot};
+pub use sampler::{jsonl_line, SampledSnapshot, Sampler};
+pub use stream::{EventStream, StreamStats, Subscriber, DEFAULT_HISTORY};
+pub use tracker::{
+    GraphTracker, StageStats, TaskState, TrackerSnapshot, Violation, MAX_KEPT_VIOLATIONS,
+};
+pub use watch::{fmt_ns, render_dashboard};

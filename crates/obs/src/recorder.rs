@@ -113,17 +113,27 @@ impl Recorder {
 
     /// Record an event carrying a causal companion tag in `aux` (the
     /// waker for `Ready`/`WakePosted`).
+    ///
+    /// The global sequence number is allocated *inside* the ring's
+    /// slot claim: a rejected push (full lane) never consumes a
+    /// sequence number, so the published sequence space is dense —
+    /// every value in `0..seq` is (or is about to be) visible in some
+    /// lane. Live subscribers rely on that to release events in strict
+    /// sequence order without stalling forever on a gap left by a
+    /// dropped event. Causal ordering is unaffected: both the claim
+    /// and the `fetch_add` happen inside `emit_edge`, so any
+    /// happens-before edge between two emissions still orders their
+    /// sequence numbers.
     #[inline]
     pub fn emit_edge(&self, kind: EventKind, task: u64, aux: u64, shard: u32) {
         let Some(inner) = self.inner.as_ref() else {
             return;
         };
         let ts_ns = inner.epoch.elapsed().as_nanos() as u64;
-        let seq = inner.seq.fetch_add(1, Ordering::AcqRel);
         let worker = WORKER.with(|c| c.get());
         let lane = LANE_SEED.with(|s| *s) % inner.lanes.len();
-        inner.lanes[lane].push(Event {
-            seq,
+        inner.lanes[lane].push_with(|| Event {
+            seq: inner.seq.fetch_add(1, Ordering::AcqRel),
             kind,
             task,
             aux,

@@ -66,7 +66,22 @@ impl EventRing {
     }
 
     /// Publish one event; `false` (and one `dropped` tick) if full.
+    #[cfg(test)]
     pub(crate) fn push(&self, ev: Event) -> bool {
+        self.push_with(|| ev)
+    }
+
+    /// Publish the event `build` produces; `false` (and one `dropped`
+    /// tick) if full. `build` runs only **after** the slot claim
+    /// succeeds, so anything it allocates from a shared counter (the
+    /// recorder's global sequence number) is allocated exactly for
+    /// events that will be published — a rejected push consumes
+    /// nothing. That density is what lets a live [`EventStream`] release
+    /// events in strict sequence order without stalling on a sequence
+    /// number that was allocated and then dropped.
+    ///
+    /// [`EventStream`]: crate::EventStream
+    pub(crate) fn push_with(&self, build: impl FnOnce() -> Event) -> bool {
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[(pos & self.mask) as usize];
@@ -79,7 +94,7 @@ impl EventRing {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        unsafe { (*slot.val.get()).write(ev) };
+                        unsafe { (*slot.val.get()).write(build()) };
                         slot.seq.store(pos + 1, Ordering::Release);
                         self.recorded.fetch_add(1, Ordering::Relaxed);
                         return true;

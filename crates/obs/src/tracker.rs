@@ -1,0 +1,584 @@
+//! The live task-graph tracker: a queryable state machine fed by the
+//! event stream.
+//!
+//! TEMANEJO-style introspection (arXiv:1112.4604) watches a StarSs run
+//! as a graph whose nodes change color while the run is in flight.
+//! [`GraphTracker`] is that view for this runtime: it consumes
+//! lifecycle events *online* (typically from a
+//! [`Subscriber`](crate::Subscriber), via the background
+//! [`Collector`](crate::Collector)) and maintains, incrementally:
+//!
+//! - each task's current [`TaskState`] and the live population count
+//!   per state,
+//! - the realized wake-edge set `(waker, woken)` as it is discovered,
+//! - per-shard in-flight and per-worker running counts,
+//! - online [`LogHistogram`]s for the four stage latencies
+//!   (submit→ready, ready→start, start→done, done→finish),
+//! - an **illegal-transition detector**: the per-task emission order
+//!   the differential tests assert offline becomes a runtime
+//!   invariant checked on every event.
+//!
+//! The transition table mirrors the emission sites exactly. `Stalled`
+//! covers both blocking flavors — a capacity park before the
+//! dependence check (leaves via `Resumed`) and the wait for
+//! dependences after `DepCheckDone` (leaves via `Ready`); instantly
+//! ready tasks pass through it in the same event. `Stalled`/`Resumed`
+//! events with `task == NO_TASK` are idle *worker* parks and feed the
+//! idle-worker gauge instead of any task's state.
+//!
+//! ```text
+//!  Submitted ──DepCheckStart──► Checking ──DepCheckDone──► Stalled
+//!    ▲  │Stalled(capacity)                                   │Ready
+//!    │  ▼                                                    ▼
+//!    └─Stalled ◄──Resumed                                  Ready ⟲ WakePosted /
+//!                                                            │      WakeDelivered /
+//!                                                  ExecStart │      Stolen
+//!                                                            ▼
+//!                              Finished ◄──Finished── Retiring ◄──ExecDone── Running
+//! ```
+//!
+//! A violation (an event whose kind is not legal from the task's
+//! current state) is counted, the first few are kept with context,
+//! and the task is *resynced* to the event's natural destination
+//! state so one anomaly doesn't cascade into a violation per
+//! subsequent event. Note that ring drops manufacture apparent
+//! violations (the tracker can't see an event that was never
+//! recorded) — check [`Recorder::dropped`](crate::Recorder::dropped)
+//! before reading violations as runtime bugs.
+
+use crate::event::{Event, EventKind, NO_TASK, NO_WORKER};
+use crate::hist::LogHistogram;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a task currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskState {
+    /// Accepted by the runtime; dependence check not started.
+    Submitted,
+    /// Dependence check in progress.
+    Checking,
+    /// Blocked: parked on shard capacity, or waiting for dependences.
+    Stalled,
+    /// Dependences satisfied; queued (or being woken/stolen).
+    Ready,
+    /// A worker is executing the body.
+    Running,
+    /// Body returned; dependence tables not yet updated.
+    Retiring,
+    /// Fully retired.
+    Finished,
+}
+
+impl TaskState {
+    /// Every state, in lifecycle order.
+    pub const ALL: [TaskState; 7] = [
+        TaskState::Submitted,
+        TaskState::Checking,
+        TaskState::Stalled,
+        TaskState::Ready,
+        TaskState::Running,
+        TaskState::Retiring,
+        TaskState::Finished,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskState::Submitted => "Submitted",
+            TaskState::Checking => "Checking",
+            TaskState::Stalled => "Stalled",
+            TaskState::Ready => "Ready",
+            TaskState::Running => "Running",
+            TaskState::Retiring => "Retiring",
+            TaskState::Finished => "Finished",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One illegal transition the tracker observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// Sequence number of the offending event.
+    pub seq: u64,
+    /// The task involved.
+    pub task: u64,
+    /// The event kind that was not legal.
+    pub kind: EventKind,
+    /// The state the task was in (`None` = never seen before).
+    pub from: Option<TaskState>,
+}
+
+/// How many violations are kept with full context (the count in
+/// [`TrackerSnapshot::violations`] is never capped).
+pub const MAX_KEPT_VIOLATIONS: usize = 32;
+
+/// "This stage timestamp was never observed" (its event was dropped
+/// or the tracker attached mid-run) — the stage sample is skipped
+/// rather than computed against a bogus origin.
+const TS_UNSET: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct TaskInfo {
+    state: TaskState,
+    shard: u32,
+    worker: u32,
+    submitted_ts: u64,
+    ready_ts: u64,
+    start_ts: u64,
+    done_ts: u64,
+}
+
+/// Mean and histogram quantiles for one lifecycle stage, derived
+/// online (quantiles are log-bucket bounds — see [`LogHistogram`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageStats {
+    /// Completed samples.
+    pub count: u64,
+    /// Mean nanoseconds.
+    pub mean_ns: f64,
+    /// Median (bucket-bound resolution).
+    pub p50_ns: u64,
+    /// 90th percentile (bucket-bound resolution).
+    pub p90_ns: u64,
+    /// 99th percentile (bucket-bound resolution).
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+impl StageStats {
+    fn from_hist(h: &LogHistogram) -> StageStats {
+        StageStats {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.p50(),
+            p90_ns: h.p90(),
+            p99_ns: h.p99(),
+            max_ns: h.max(),
+        }
+    }
+}
+
+/// A cheap point-in-time copy of the tracker's aggregates, safe to
+/// render while the collector keeps applying events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrackerSnapshot {
+    /// Events applied so far.
+    pub events_applied: u64,
+    /// Distinct tasks seen.
+    pub tasks_seen: u64,
+    /// Live population per state, indexed like [`TaskState::ALL`].
+    pub state_counts: [u64; 7],
+    /// Realized wake edges discovered so far.
+    pub edges: u64,
+    /// Total illegal transitions observed.
+    pub violations: u64,
+    /// Workers currently parked idle.
+    pub idle_parked: u64,
+    /// Total idle park episodes.
+    pub idle_park_episodes: u64,
+    /// `(shard, tasks in flight)` for every shard seen (the
+    /// [`NO_SHARD`](crate::NO_SHARD) row aggregates shardless events).
+    pub per_shard_inflight: Vec<(u32, u64)>,
+    /// `(worker, tasks running)` for every worker seen executing.
+    pub per_worker_running: Vec<(u32, u64)>,
+    /// Submission until the dependence count hit zero.
+    pub submit_to_ready: StageStats,
+    /// Ready until a worker picked the task up.
+    pub ready_to_start: StageStats,
+    /// Body execution time.
+    pub start_to_done: StageStats,
+    /// Body return until the dependence tables retired the task.
+    pub done_to_finish: StageStats,
+}
+
+impl TrackerSnapshot {
+    /// Live population of one state.
+    pub fn count(&self, s: TaskState) -> u64 {
+        self.state_counts[s.index()]
+    }
+
+    /// Tasks in intermediate states (submitted but not finished).
+    pub fn in_flight(&self) -> u64 {
+        self.tasks_seen - self.count(TaskState::Finished)
+    }
+}
+
+/// The live task-graph state machine. See the module docs for the
+/// transition table.
+#[derive(Default)]
+pub struct GraphTracker {
+    tasks: BTreeMap<u64, TaskInfo>,
+    state_counts: [u64; 7],
+    edges: BTreeSet<(u64, u64)>,
+    violations: u64,
+    kept_violations: Vec<Violation>,
+    idle_parked: u64,
+    idle_park_episodes: u64,
+    per_shard_inflight: BTreeMap<u32, u64>,
+    per_worker_running: BTreeMap<u32, u64>,
+    submit_to_ready: LogHistogram,
+    ready_to_start: LogHistogram,
+    start_to_done: LogHistogram,
+    done_to_finish: LogHistogram,
+    events_applied: u64,
+}
+
+impl std::fmt::Debug for GraphTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphTracker")
+            .field("tasks", &self.tasks.len())
+            .field("events_applied", &self.events_applied)
+            .field("violations", &self.violations)
+            .finish()
+    }
+}
+
+/// The destination state for a legal application of `kind` — also the
+/// resync target after a violation.
+fn destination(kind: EventKind) -> TaskState {
+    match kind {
+        EventKind::Submitted | EventKind::Resumed => TaskState::Submitted,
+        EventKind::DepCheckStart => TaskState::Checking,
+        EventKind::DepCheckDone | EventKind::Stalled => TaskState::Stalled,
+        EventKind::Ready | EventKind::WakePosted | EventKind::WakeDelivered | EventKind::Stolen => {
+            TaskState::Ready
+        }
+        EventKind::ExecStart => TaskState::Running,
+        EventKind::ExecDone => TaskState::Retiring,
+        EventKind::Finished => TaskState::Finished,
+    }
+}
+
+/// Is `kind` legal from `from`? (`None` = task never seen.)
+fn legal(from: Option<TaskState>, kind: EventKind) -> bool {
+    use EventKind as K;
+    use TaskState as S;
+    matches!(
+        (from, kind),
+        (None, K::Submitted)
+            | (Some(S::Submitted), K::Stalled | K::DepCheckStart)
+            | (Some(S::Stalled), K::Resumed | K::Ready)
+            | (Some(S::Checking), K::DepCheckDone)
+            | (
+                Some(S::Ready),
+                K::WakePosted | K::WakeDelivered | K::Stolen | K::ExecStart
+            )
+            | (Some(S::Running), K::ExecDone)
+            | (Some(S::Retiring), K::Finished)
+    )
+}
+
+impl GraphTracker {
+    /// An empty tracker.
+    pub fn new() -> GraphTracker {
+        GraphTracker::default()
+    }
+
+    /// Apply one event.
+    pub fn apply(&mut self, e: &Event) {
+        self.events_applied += 1;
+        if e.task == NO_TASK {
+            // Idle worker parks (and any other taskless events).
+            match e.kind {
+                EventKind::Stalled => {
+                    self.idle_parked += 1;
+                    self.idle_park_episodes += 1;
+                }
+                EventKind::Resumed => self.idle_parked = self.idle_parked.saturating_sub(1),
+                _ => {}
+            }
+            return;
+        }
+        if e.kind == EventKind::Ready && e.aux != NO_TASK {
+            self.edges.insert((e.aux, e.task));
+        }
+        let prev = self.tasks.get(&e.task).copied();
+        if !legal(prev.map(|t| t.state), e.kind) {
+            self.violations += 1;
+            if self.kept_violations.len() < MAX_KEPT_VIOLATIONS {
+                self.kept_violations.push(Violation {
+                    seq: e.seq,
+                    task: e.task,
+                    kind: e.kind,
+                    from: prev.map(|t| t.state),
+                });
+            }
+        }
+        let dest = destination(e.kind);
+        let mut info = prev.unwrap_or(TaskInfo {
+            state: dest,
+            shard: e.shard,
+            worker: NO_WORKER,
+            submitted_ts: TS_UNSET,
+            ready_ts: TS_UNSET,
+            start_ts: TS_UNSET,
+            done_ts: TS_UNSET,
+        });
+        match prev {
+            Some(t) => self.state_counts[t.state.index()] -= 1,
+            None => {
+                // First sighting: this shard owns the task's in-flight
+                // accounting until it finishes.
+                info.shard = e.shard;
+                *self.per_shard_inflight.entry(e.shard).or_insert(0) += 1;
+            }
+        }
+        info.state = dest;
+        self.state_counts[dest.index()] += 1;
+        match e.kind {
+            EventKind::Submitted => info.submitted_ts = e.ts_ns,
+            EventKind::Ready => {
+                info.ready_ts = e.ts_ns;
+                if info.submitted_ts != TS_UNSET {
+                    self.submit_to_ready
+                        .record(e.ts_ns.saturating_sub(info.submitted_ts));
+                }
+            }
+            EventKind::ExecStart => {
+                info.start_ts = e.ts_ns;
+                if e.worker != NO_WORKER {
+                    info.worker = e.worker;
+                    *self.per_worker_running.entry(e.worker).or_insert(0) += 1;
+                }
+                if info.ready_ts != TS_UNSET {
+                    self.ready_to_start
+                        .record(e.ts_ns.saturating_sub(info.ready_ts));
+                }
+            }
+            EventKind::ExecDone => {
+                info.done_ts = e.ts_ns;
+                if info.worker != NO_WORKER {
+                    if let Some(c) = self.per_worker_running.get_mut(&info.worker) {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                if info.start_ts != TS_UNSET {
+                    self.start_to_done
+                        .record(e.ts_ns.saturating_sub(info.start_ts));
+                }
+            }
+            EventKind::Finished => {
+                if let Some(c) = self.per_shard_inflight.get_mut(&info.shard) {
+                    *c = c.saturating_sub(1);
+                }
+                if info.done_ts != TS_UNSET {
+                    self.done_to_finish
+                        .record(e.ts_ns.saturating_sub(info.done_ts));
+                }
+            }
+            _ => {}
+        }
+        self.tasks.insert(e.task, info);
+    }
+
+    /// Apply a batch (a [`Subscriber::poll`](crate::Subscriber::poll)
+    /// result).
+    pub fn apply_batch(&mut self, events: &[Event]) {
+        for e in events {
+            self.apply(e);
+        }
+    }
+
+    /// The current state of one task, if it has been seen.
+    pub fn state_of(&self, task: u64) -> Option<TaskState> {
+        self.tasks.get(&task).map(|t| t.state)
+    }
+
+    /// Live population of one state.
+    pub fn count(&self, s: TaskState) -> u64 {
+        self.state_counts[s.index()]
+    }
+
+    /// The realized wake edges discovered so far, `(waker, woken)`.
+    pub fn edges(&self) -> &BTreeSet<(u64, u64)> {
+        &self.edges
+    }
+
+    /// Total illegal transitions observed.
+    pub fn violation_count(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first [`MAX_KEPT_VIOLATIONS`] violations, with context.
+    pub fn violations(&self) -> &[Violation] {
+        &self.kept_violations
+    }
+
+    /// Cheap copy of every aggregate for rendering.
+    pub fn snapshot(&self) -> TrackerSnapshot {
+        TrackerSnapshot {
+            events_applied: self.events_applied,
+            tasks_seen: self.tasks.len() as u64,
+            state_counts: self.state_counts,
+            edges: self.edges.len() as u64,
+            violations: self.violations,
+            idle_parked: self.idle_parked,
+            idle_park_episodes: self.idle_park_episodes,
+            per_shard_inflight: self
+                .per_shard_inflight
+                .iter()
+                .map(|(&s, &c)| (s, c))
+                .collect(),
+            per_worker_running: self
+                .per_worker_running
+                .iter()
+                .map(|(&w, &c)| (w, c))
+                .collect(),
+            submit_to_ready: StageStats::from_hist(&self.submit_to_ready),
+            ready_to_start: StageStats::from_hist(&self.ready_to_start),
+            start_to_done: StageStats::from_hist(&self.start_to_done),
+            done_to_finish: StageStats::from_hist(&self.done_to_finish),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_SHARD;
+
+    fn ev(seq: u64, kind: EventKind, task: u64, aux: u64, ts_ns: u64) -> Event {
+        Event {
+            seq,
+            kind,
+            task,
+            aux,
+            shard: 0,
+            worker: 1,
+            ts_ns,
+        }
+    }
+
+    fn full_life(task: u64, waker: u64, base: u64) -> Vec<Event> {
+        vec![
+            ev(base, EventKind::Submitted, task, NO_TASK, base * 10),
+            ev(base + 1, EventKind::DepCheckStart, task, NO_TASK, 0),
+            ev(base + 2, EventKind::DepCheckDone, task, NO_TASK, 0),
+            ev(base + 3, EventKind::Ready, task, waker, base * 10 + 5),
+            ev(base + 4, EventKind::ExecStart, task, NO_TASK, base * 10 + 9),
+            ev(base + 5, EventKind::ExecDone, task, NO_TASK, base * 10 + 29),
+            ev(base + 6, EventKind::Finished, task, NO_TASK, base * 10 + 30),
+        ]
+    }
+
+    #[test]
+    fn clean_lifecycle_has_no_violations() {
+        let mut t = GraphTracker::new();
+        t.apply_batch(&full_life(1, NO_TASK, 0));
+        t.apply_batch(&full_life(2, 1, 100));
+        assert_eq!(t.violation_count(), 0);
+        assert_eq!(t.count(TaskState::Finished), 2);
+        assert_eq!(t.state_of(1), Some(TaskState::Finished));
+        assert_eq!(t.edges().iter().copied().collect::<Vec<_>>(), vec![(1, 2)]);
+        let s = t.snapshot();
+        assert_eq!(s.tasks_seen, 2);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.start_to_done.count, 2);
+        assert_eq!(s.start_to_done.max_ns, 20);
+    }
+
+    #[test]
+    fn intermediate_states_are_live() {
+        let mut t = GraphTracker::new();
+        let life = full_life(7, NO_TASK, 0);
+        t.apply_batch(&life[..5]); // through ExecStart
+        assert_eq!(t.state_of(7), Some(TaskState::Running));
+        assert_eq!(t.count(TaskState::Running), 1);
+        assert_eq!(t.snapshot().in_flight(), 1);
+        t.apply_batch(&life[5..]);
+        assert_eq!(t.count(TaskState::Running), 0);
+        assert_eq!(t.count(TaskState::Finished), 1);
+    }
+
+    #[test]
+    fn capacity_stall_round_trips() {
+        let mut t = GraphTracker::new();
+        t.apply(&ev(0, EventKind::Submitted, 1, NO_TASK, 0));
+        t.apply(&ev(1, EventKind::Stalled, 1, NO_TASK, 5));
+        assert_eq!(t.state_of(1), Some(TaskState::Stalled));
+        t.apply(&ev(2, EventKind::Resumed, 1, NO_TASK, 9));
+        assert_eq!(t.state_of(1), Some(TaskState::Submitted));
+        assert_eq!(t.violation_count(), 0);
+    }
+
+    #[test]
+    fn wake_and_steal_keep_ready() {
+        let mut t = GraphTracker::new();
+        t.apply(&ev(0, EventKind::Submitted, 1, NO_TASK, 0));
+        t.apply(&ev(1, EventKind::DepCheckStart, 1, NO_TASK, 0));
+        t.apply(&ev(2, EventKind::DepCheckDone, 1, NO_TASK, 0));
+        t.apply(&ev(3, EventKind::Ready, 1, 9, 0));
+        t.apply(&ev(4, EventKind::WakePosted, 1, 9, 0));
+        t.apply(&ev(5, EventKind::WakeDelivered, 1, NO_TASK, 0));
+        t.apply(&ev(6, EventKind::Stolen, 1, NO_TASK, 0));
+        assert_eq!(t.state_of(1), Some(TaskState::Ready));
+        assert_eq!(t.violation_count(), 0);
+        assert!(t.edges().contains(&(9, 1)));
+    }
+
+    #[test]
+    fn illegal_transition_is_detected_and_resynced() {
+        let mut t = GraphTracker::new();
+        // ExecStart with no prior history: illegal, then resynced.
+        t.apply(&ev(0, EventKind::ExecStart, 5, NO_TASK, 0));
+        assert_eq!(t.violation_count(), 1);
+        assert_eq!(t.state_of(5), Some(TaskState::Running));
+        let v = t.violations()[0];
+        assert_eq!(v.task, 5);
+        assert_eq!(v.kind, EventKind::ExecStart);
+        assert_eq!(v.from, None);
+        // After resync the rest of the life is legal again.
+        t.apply(&ev(1, EventKind::ExecDone, 5, NO_TASK, 0));
+        t.apply(&ev(2, EventKind::Finished, 5, NO_TASK, 0));
+        assert_eq!(t.violation_count(), 1);
+    }
+
+    #[test]
+    fn idle_parks_feed_the_worker_gauge_not_tasks() {
+        let mut t = GraphTracker::new();
+        let park = Event {
+            seq: 0,
+            kind: EventKind::Stalled,
+            task: NO_TASK,
+            aux: NO_TASK,
+            shard: NO_SHARD,
+            worker: 3,
+            ts_ns: 0,
+        };
+        t.apply(&park);
+        assert_eq!(t.snapshot().idle_parked, 1);
+        assert_eq!(t.snapshot().tasks_seen, 0);
+        let resume = Event {
+            kind: EventKind::Resumed,
+            seq: 1,
+            ..park
+        };
+        t.apply(&resume);
+        assert_eq!(t.snapshot().idle_parked, 0);
+        assert_eq!(t.snapshot().idle_park_episodes, 1);
+        assert_eq!(t.violation_count(), 0);
+    }
+
+    #[test]
+    fn per_worker_and_per_shard_gauges_track_live_population() {
+        let mut t = GraphTracker::new();
+        t.apply(&ev(0, EventKind::Submitted, 1, NO_TASK, 0));
+        t.apply(&ev(1, EventKind::DepCheckStart, 1, NO_TASK, 0));
+        t.apply(&ev(2, EventKind::DepCheckDone, 1, NO_TASK, 0));
+        t.apply(&ev(3, EventKind::Ready, 1, NO_TASK, 0));
+        t.apply(&ev(4, EventKind::ExecStart, 1, NO_TASK, 0));
+        let s = t.snapshot();
+        assert_eq!(s.per_shard_inflight, vec![(0, 1)]);
+        assert_eq!(s.per_worker_running, vec![(1, 1)]);
+        t.apply(&ev(5, EventKind::ExecDone, 1, NO_TASK, 0));
+        t.apply(&ev(6, EventKind::Finished, 1, NO_TASK, 0));
+        let s = t.snapshot();
+        assert_eq!(s.per_shard_inflight, vec![(0, 0)]);
+        assert_eq!(s.per_worker_running, vec![(1, 0)]);
+    }
+}

@@ -263,6 +263,25 @@ impl Runtime {
         Runtime::build(n, kind, Some(rec))
     }
 
+    /// Start a runtime observed *online* by `collector`
+    /// ([`nexuspp_obs::Collector`]): lifecycle events stream into the
+    /// collector's recorder (its background thread keeps a live
+    /// [`nexuspp_obs::GraphTracker`] current while tasks are in
+    /// flight), and this runtime's [`metrics`](Self::metrics) registry
+    /// is attached for periodic sampling. Producers never block on the
+    /// collector — it only ever drains the consumer side of the event
+    /// rings. Call [`Collector::finish`](nexuspp_obs::Collector::finish)
+    /// after the runtime joins for the complete final state.
+    pub fn with_observer(
+        n: usize,
+        kind: SchedulerKind,
+        collector: &nexuspp_obs::Collector,
+    ) -> Self {
+        let rt = Runtime::build(n, kind, Some(collector.recorder()));
+        collector.attach_registry(Arc::new(rt.metrics()));
+        rt
+    }
+
     fn build(n: usize, kind: SchedulerKind, obs: Option<Arc<Recorder>>) -> Self {
         assert!(n >= 1, "need at least one worker");
         let (mut sched, handles) = Scheduler::new(kind, n);

@@ -208,6 +208,37 @@ impl ShardedRuntime {
         ShardedRuntime::build(n, shards, kind, capacity, wake_mode, Some(rec))
     }
 
+    /// Start a runtime (every knob explicit) observed *online* by
+    /// `collector` ([`nexuspp_obs::Collector`]): lifecycle events
+    /// stream into the collector's recorder — its background thread
+    /// keeps a live [`nexuspp_obs::GraphTracker`] current while tasks
+    /// are in flight — and this runtime's [`metrics`](Self::metrics)
+    /// registry is attached for periodic sampling. The wake path keeps
+    /// its lock-freedom guarantee with the collector attached
+    /// (producers only CAS into their event lanes; the collector only
+    /// drains the consumer side). Call
+    /// [`Collector::finish`](nexuspp_obs::Collector::finish) after the
+    /// runtime joins for the complete final state.
+    pub fn with_observer(
+        n: usize,
+        shards: usize,
+        kind: SchedulerKind,
+        capacity: ShardCapacity,
+        wake_mode: WakeMode,
+        collector: &nexuspp_obs::Collector,
+    ) -> Self {
+        let rt = ShardedRuntime::build(
+            n,
+            shards,
+            kind,
+            capacity,
+            wake_mode,
+            Some(collector.recorder()),
+        );
+        collector.attach_registry(Arc::new(rt.metrics()));
+        rt
+    }
+
     fn build(
         n: usize,
         shards: usize,

@@ -40,6 +40,14 @@ pub struct WakeStressSpec {
     /// Shards in the dispatcher (every task lives on shard 0; the rest
     /// exist to keep the address routing honest).
     pub shards: usize,
+    /// Busy-work per retired task, in nanoseconds (0 = none — the
+    /// historical shape where wall-clock is almost pure resolution +
+    /// delivery). Nonzero values model real task bodies, which the
+    /// live-collector overhead gate needs: with zero-cost tasks every
+    /// nanosecond of instrumentation is pure relative overhead, so the
+    /// gate would measure the host's scheduling noise, not the
+    /// streaming path.
+    pub spin_ns: u64,
 }
 
 impl WakeStressSpec {
@@ -51,6 +59,7 @@ impl WakeStressSpec {
             producers,
             consumers_per,
             shards: 4,
+            spin_ns: 0,
         }
     }
 
@@ -160,9 +169,11 @@ pub fn run_wake_stress_with(
             let completed = Arc::clone(&completed);
             let woken = Arc::clone(&woken);
             let shares = Arc::clone(&shares);
+            let spin_ns = spec.spin_ns;
             std::thread::spawn(move || {
                 let mut queue = shares.lock().unwrap().pop().expect("one share per thread");
                 while let Some((ticket, _tag)) = queue.pop() {
+                    spin_for(spin_ns);
                     let report = d.finish(ticket);
                     completed.fetch_add(report.completed, Ordering::Relaxed);
                     woken.fetch_add(report.woken.len() as u64, Ordering::Relaxed);
@@ -207,6 +218,20 @@ pub fn best_of(mode: WakeMode, spec: &WakeStressSpec, runs: u32) -> WakeRun {
     best.expect("runs >= 1")
 }
 
+/// Busy-wait for roughly `ns` nanoseconds (a stand-in task body; no
+/// syscall, so a 1-CPU host still interleaves finisher threads via
+/// preemption rather than parking them).
+#[inline]
+fn spin_for(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let t0 = Instant::now();
+    while (t0.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
 /// Deal `ready` round-robin into `n` shares (every thread gets within
 /// one producer of every other).
 fn split_shares<T>(ready: Vec<T>, n: usize) -> Vec<Vec<T>> {
@@ -228,6 +253,7 @@ mod tests {
             producers: 16,
             consumers_per: 8,
             shards: 4,
+            spin_ns: 0,
         };
         for mode in [WakeMode::Locked, WakeMode::LockFree] {
             let r = run_wake_stress(mode, &spec);

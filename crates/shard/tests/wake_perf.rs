@@ -31,6 +31,7 @@ fn lock_free_wake_delivery_beats_locked_kickoff_by_1_3x_at_4_workers() {
         producers: 256,
         consumers_per: 24,
         shards: 4,
+        spin_ns: 0,
     };
     let locked = best_of(WakeMode::Locked, &spec, 3);
     let lock_free = best_of(WakeMode::LockFree, &spec, 3);

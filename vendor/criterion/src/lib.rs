@@ -217,6 +217,21 @@ impl Bencher {
         self.iters += ITERS;
     }
 
+    /// Hand timing to the routine: `routine(iters)` performs `iters`
+    /// iterations and returns the measured duration. This is how a
+    /// bench times an *internal* quantity (e.g. a counter of
+    /// nanoseconds spent in one phase) instead of wall clock around
+    /// the whole call — the only way a phase-level win can show on a
+    /// host where total wall time is pinned by other work.
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        const ITERS: u64 = 3;
+        self.elapsed += routine(ITERS);
+        self.iters += ITERS;
+    }
+
     /// Time `routine` on inputs produced (untimed) by `setup`.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
