@@ -21,6 +21,7 @@
 //!   wakes      locked vs lock-free wake delivery     (extension)
 //!   frontend   version renaming vs raw addressing    (extension)
 //!   observe    lifecycle tracing & critical path     (extension)
+//!   serve      multi-tenant resolver service         (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -42,7 +43,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|observe|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|observe|serve|all> \
          [--full] [--quick] [--csv DIR]\n       \
          repro watch [--quick] [--csv DIR] [--frames N]\n       \
          repro bench-diff [--threshold PCT] [--strict] OLD.json NEW.json"
@@ -212,6 +213,7 @@ fn main() {
         "wakes" => run(vec![experiments::wakes(&opts)], &opts),
         "frontend" => run(vec![experiments::frontend(&opts)], &opts),
         "observe" => run(vec![experiments::observe(&opts)], &opts),
+        "serve" => run(vec![experiments::serve(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

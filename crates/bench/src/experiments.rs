@@ -1677,6 +1677,190 @@ pub fn observe(opts: &ExpOptions) -> Experiment {
     }
 }
 
+/// The persistent resolver as a shared facility: a `ResolverService`
+/// with deliberately tight per-tenant budgets under the service-stress
+/// client streams, one client thread per tenant. Reports the full
+/// admission funnel per tenant (submitted → backpressured/denied/
+/// retried → admitted → executed) from the live metrics registry, then
+/// drains with a graceful shutdown and cross-checks exactly-once
+/// against a one-shot run of the identical programs on a bare runtime.
+pub fn serve(opts: &ExpOptions) -> Experiment {
+    use nexuspp_runtime::ShardedRuntime;
+    use nexuspp_service::{ResolverService, ServiceConfig, ServiceTask, TenantId};
+    use nexuspp_workloads::ServiceStressSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let spec = if opts.quick {
+        ServiceStressSpec::quick()
+    } else {
+        ServiceStressSpec::pressure()
+    };
+    // Budget below the stream's steady-state demand (≈ chains resident
+    // chained tasks per tenant) so admission pressure is guaranteed;
+    // a small lane keeps client-visible backpressure in play too.
+    let budget = (spec.chains as u64 / 2).max(1);
+    let lane = spec.chains.max(2) as usize;
+    let workers = 4usize;
+    let mut notes = Vec::new();
+
+    let mut cfg = ServiceConfig::new(workers, 4).lane_capacity(lane);
+    for t in 1..=spec.tenants {
+        cfg = cfg.tenant(TenantId(t), budget);
+    }
+    let svc = ResolverService::start(cfg);
+    let ran = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let clients: Vec<_> = spec
+        .programs()
+        .into_iter()
+        .map(|(tenant, prog)| {
+            let handle = svc.handle(tenant).expect("tenant registered");
+            let ran = Arc::clone(&ran);
+            std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                for sub in prog {
+                    let ran = Arc::clone(&ran);
+                    let task = ServiceTask::new(sub, move || {
+                        ran.fetch_add(1, Ordering::AcqRel);
+                    });
+                    if handle.submit_blocking(task).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+    let accepted: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    let report = svc.shutdown();
+    let wall = start.elapsed();
+    let snap = svc.metrics_snapshot();
+
+    let mut t = TextTable::new(vec![
+        "tenant",
+        "budget",
+        "submitted",
+        "backpressured",
+        "budget denied",
+        "capacity retries",
+        "admitted",
+        "executed",
+        "peak in-flight",
+    ]);
+    let metric = |tenant: TenantId, name: &str| snap.get(&tenant.to_string(), name).unwrap_or(0);
+    let mut executed_total = 0u64;
+    for (tenant, counts) in &report.tenants {
+        let executed = metric(*tenant, "executed");
+        executed_total += executed;
+        t.row(vec![
+            tenant.to_string(),
+            counts.cap.to_string(),
+            metric(*tenant, "submitted").to_string(),
+            metric(*tenant, "backpressured").to_string(),
+            counts.denied.to_string(),
+            metric(*tenant, "capacity_retries").to_string(),
+            counts.admitted.to_string(),
+            executed.to_string(),
+            counts.peak.to_string(),
+        ]);
+        if counts.peak > counts.cap {
+            notes.push(format!(
+                "REGRESSION: {tenant} exceeded its budget (peak {} > cap {})",
+                counts.peak, counts.cap
+            ));
+        }
+    }
+
+    // Differential: the identical programs, one-shot on a bare runtime
+    // with no admission layer — both sides must execute every task.
+    let oneshot_ran = Arc::new(AtomicU64::new(0));
+    let rt = ShardedRuntime::new(workers, 4);
+    for (_, prog) in spec.programs() {
+        for sub in prog {
+            let oneshot_ran = Arc::clone(&oneshot_ran);
+            rt.spawn_lowered(sub, move || {
+                oneshot_ran.fetch_add(1, Ordering::AcqRel);
+            });
+        }
+    }
+    rt.barrier();
+    let oneshot = oneshot_ran.load(Ordering::Acquire);
+
+    let mut sum_t = TextTable::new(vec!["measure", "value"]);
+    sum_t.row(vec![
+        "tasks per tenant".into(),
+        spec.tasks_per_tenant().to_string(),
+    ]);
+    sum_t.row(vec!["accepted (client Ok)".into(), accepted.to_string()]);
+    sum_t.row(vec![
+        "executed (service)".into(),
+        report.runtime.executed.to_string(),
+    ]);
+    sum_t.row(vec!["executed (one-shot)".into(), oneshot.to_string()]);
+    sum_t.row(vec![
+        "cancelled".into(),
+        report.runtime.cancelled.to_string(),
+    ]);
+    sum_t.row(vec![
+        "dropped in ingress".into(),
+        report.dropped_ingress.to_string(),
+    ]);
+    sum_t.row(vec!["graceful".into(), report.graceful.to_string()]);
+    sum_t.row(vec!["wall ms".into(), f1(wall.as_secs_f64() * 1e3)]);
+    sum_t.row(vec![
+        "throughput (tasks/ms)".into(),
+        f1(accepted as f64 / (wall.as_secs_f64() * 1e3)),
+    ]);
+
+    if !report.graceful {
+        notes.push("REGRESSION: graceful shutdown reported drops or a non-graceful quiesce".into());
+    }
+    if report.runtime.executed != accepted || ran.load(Ordering::Acquire) != accepted {
+        notes.push(format!(
+            "REGRESSION: exactly-once broken — accepted {accepted}, runtime executed {}, bodies ran {}",
+            report.runtime.executed,
+            ran.load(Ordering::Acquire)
+        ));
+    }
+    if report.runtime.executed != executed_total {
+        notes.push(format!(
+            "REGRESSION: per-tenant executed counters sum to {executed_total}, runtime retired {}",
+            report.runtime.executed
+        ));
+    }
+    if report.runtime.executed != oneshot {
+        notes.push(format!(
+            "REGRESSION: service executed {} tasks but the one-shot run executed {oneshot}",
+            report.runtime.executed
+        ));
+    }
+    notes.push(format!(
+        "{} tenants, budget {budget} (steady-state demand ≈ {} chained tasks), lane {lane}, \
+         {workers} workers; clients spin on retryable backpressure via submit_blocking",
+        spec.tenants, spec.chains
+    ));
+    notes.push(
+        "the admission funnel is per tenant: lane-full → client backpressure, budget at cap → \
+         held in ingress, shard table full → parked retry slot; none of these stall another \
+         tenant's lane"
+            .into(),
+    );
+    Experiment {
+        id: "serve",
+        title: "Resolver service: multi-tenant streaming ingress under admission pressure".into(),
+        tables: vec![
+            (
+                "Per-tenant admission funnel (live metrics + final ledgers)".into(),
+                t,
+            ),
+            ("Run summary and one-shot differential".into(), sum_t),
+        ],
+        notes,
+    }
+}
+
 /// Run every experiment.
 pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
     vec![
@@ -1697,6 +1881,7 @@ pub fn all(opts: &ExpOptions) -> Vec<Experiment> {
         wakes(opts),
         frontend(opts),
         observe(opts),
+        serve(opts),
     ]
 }
 

@@ -465,6 +465,7 @@ mod tests {
             fptr: 1,
             tag: 0,
             priority: crate::Priority::Normal,
+            tenant: crate::TenantId::NONE,
             params: vec![Param::input(0x8, 4), Param::output(0x8, 4)],
         };
         assert_eq!(

@@ -165,6 +165,41 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Which tenant a submission belongs to — admission-control metadata for
+/// the multi-client service layer. Resolution semantics ignore it
+/// entirely (dependencies are by address, never by tenant); it exists so
+/// ingress layers can meter per-tenant in-flight budgets and label
+/// per-tenant metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The "no tenant" sentinel — what direct (non-service) submissions
+    /// carry. Admission layers treat it as unmetered.
+    pub const NONE: TenantId = TenantId(u32::MAX);
+
+    /// True unless this is the [`NONE`](TenantId::NONE) sentinel.
+    pub fn is_tenant(&self) -> bool {
+        *self != TenantId::NONE
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> TenantId {
+        TenantId::NONE
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_tenant() {
+            write!(f, "tenant{}", self.0)
+        } else {
+            f.write_str("tenant-none")
+        }
+    }
+}
+
 /// A fully-specified task submission: what every `submit*` entry point
 /// consumes, and what [`TaskBuilder::build`] produces.
 ///
@@ -179,6 +214,10 @@ pub struct Submission {
     pub tag: u64,
     /// Scheduling class once ready (ignored by pure resolvers).
     pub priority: Priority,
+    /// Admission-control tenant label (ignored by pure resolvers;
+    /// metered by the service layer). [`TenantId::NONE`] for direct
+    /// submissions.
+    pub tenant: TenantId,
     /// Parameter list. Must be normalized (no duplicate addresses) before
     /// it reaches a resolver; [`Submission::validate`] checks, the
     /// builder guarantees it.
@@ -222,6 +261,7 @@ impl From<(u64, u64, Vec<Param>)> for Submission {
             fptr,
             tag,
             priority: Priority::Normal,
+            tenant: TenantId::NONE,
             params,
         }
     }
@@ -258,17 +298,19 @@ pub struct TaskBuilder {
     fptr: u64,
     tag: u64,
     priority: Priority,
+    tenant: TenantId,
     params: Vec<Param>,
 }
 
 impl TaskBuilder {
     /// Start a task with function pointer `fptr` (tag 0, normal
-    /// priority, no parameters).
+    /// priority, no tenant, no parameters).
     pub fn new(fptr: u64) -> Self {
         TaskBuilder {
             fptr,
             tag: 0,
             priority: Priority::Normal,
+            tenant: TenantId::NONE,
             params: Vec::new(),
         }
     }
@@ -276,6 +318,13 @@ impl TaskBuilder {
     /// Set the caller tag round-tripped through finish reports.
     pub fn tag(mut self, tag: u64) -> Self {
         self.tag = tag;
+        self
+    }
+
+    /// Label the submission with an admission-control tenant (service
+    /// ingress layers meter budgets per tenant; resolvers ignore it).
+    pub fn tenant(mut self, t: TenantId) -> Self {
+        self.tenant = t;
         self
     }
 
@@ -318,6 +367,7 @@ impl TaskBuilder {
             fptr: self.fptr,
             tag: self.tag,
             priority: self.priority,
+            tenant: self.tenant,
             params: normalize_params(&self.params),
         }
     }
@@ -351,12 +401,25 @@ mod tests {
             fptr: 1,
             tag: 0,
             priority: Priority::Normal,
+            tenant: TenantId::NONE,
             params: vec![Param::input(0x40, 4), Param::output(0x40, 4)],
         };
         assert_eq!(
             sub.validate(),
             Err(SubmitError::DuplicateAddress { addr: 0x40 })
         );
+    }
+
+    #[test]
+    fn tenant_defaults_to_none_and_round_trips() {
+        let sub = TaskBuilder::new(1).reads(0x10, 4).build();
+        assert_eq!(sub.tenant, TenantId::NONE);
+        assert!(!sub.tenant.is_tenant());
+        let sub = TaskBuilder::new(1).tenant(TenantId(3)).build();
+        assert_eq!(sub.tenant, TenantId(3));
+        assert!(sub.tenant.is_tenant());
+        assert_eq!(sub.tenant.to_string(), "tenant3");
+        assert_eq!(TenantId::default(), TenantId::NONE);
     }
 
     #[test]

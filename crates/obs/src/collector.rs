@@ -22,6 +22,7 @@ use crate::recorder::Recorder;
 use crate::registry::MetricsRegistry;
 use crate::sampler::Sampler;
 use crate::stream::{EventStream, StreamStats, DEFAULT_HISTORY};
+use crate::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use crate::tracker::{GraphTracker, TrackerSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -117,20 +118,23 @@ impl Collector {
             .name("obs-collector".into())
             .spawn(move || loop {
                 let stopping = {
-                    let stop = thread_inner.stop.lock().unwrap();
+                    let stop = lock_unpoisoned(&thread_inner.stop);
                     if *stop {
                         true
                     } else {
                         // Interval pacing with prompt shutdown: the
                         // finish() notify cuts the wait short.
-                        let (stop, _) = thread_inner.cv.wait_timeout(stop, interval).unwrap();
+                        let (stop, _) = thread_inner
+                            .cv
+                            .wait_timeout(stop, interval)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         *stop
                     }
                 };
                 let batch = sub.poll();
-                thread_inner.tracker.lock().unwrap().apply_batch(&batch);
+                lock_unpoisoned(&thread_inner.tracker).apply_batch(&batch);
                 thread_inner.missed.store(sub.missed(), Ordering::Relaxed);
-                if let Some(s) = thread_inner.sampler.lock().unwrap().as_mut() {
+                if let Some(s) = lock_unpoisoned(&thread_inner.sampler).as_mut() {
                     s.tick();
                 }
                 if stopping {
@@ -164,20 +168,20 @@ impl Collector {
     /// the runtime's counters exist.
     pub fn attach_registry(&self, reg: Arc<MetricsRegistry>) {
         let cap = {
-            let cur = self.inner.sampler.lock().unwrap();
+            let cur = lock_unpoisoned(&self.inner.sampler);
             cur.as_ref().map(|s| s.len().max(2)).unwrap_or(256)
         };
-        *self.inner.sampler.lock().unwrap() = Some(Sampler::new(reg, cap));
+        *lock_unpoisoned(&self.inner.sampler) = Some(Sampler::new(reg, cap));
     }
 
     /// A point-in-time copy of the live tracker aggregates.
     pub fn tracker(&self) -> TrackerSnapshot {
-        self.inner.tracker.lock().unwrap().snapshot()
+        lock_unpoisoned(&self.inner.tracker).snapshot()
     }
 
     /// Run `f` against the live sampler, if a registry is attached.
     pub fn with_sampler<R>(&self, f: impl FnOnce(&Sampler) -> R) -> Option<R> {
-        self.inner.sampler.lock().unwrap().as_ref().map(f)
+        lock_unpoisoned(&self.inner.sampler).as_ref().map(f)
     }
 
     /// Current stream progress.
@@ -197,8 +201,8 @@ impl Collector {
         let inner = Arc::try_unwrap(inner)
             .unwrap_or_else(|_| panic!("collector Inner has exactly two owners"));
         CollectorReport {
-            tracker: inner.tracker.into_inner().unwrap(),
-            sampler: inner.sampler.into_inner().unwrap(),
+            tracker: into_inner_unpoisoned(inner.tracker),
+            sampler: into_inner_unpoisoned(inner.sampler),
             stream: self.stream.stats(),
             missed: inner.missed.into_inner(),
         }
@@ -206,7 +210,7 @@ impl Collector {
 
     fn stop_and_join(&mut self) {
         if let Some(h) = self.handle.take() {
-            *self.inner.stop.lock().unwrap() = true;
+            *lock_unpoisoned(&self.inner.stop) = true;
             self.inner.cv.notify_all();
             let _ = h.join();
         }
@@ -300,6 +304,43 @@ mod tests {
         let report = col.finish();
         let sampler = report.sampler.expect("registry attached");
         assert_eq!(sampler.latest().unwrap().snap.get("g", "n"), Some(4));
+    }
+
+    #[test]
+    fn collector_thread_panic_does_not_cascade_into_finish() {
+        // Inject a panic *on the collector thread itself*: a metrics
+        // source that panics during a sampler tick unwinds while the
+        // sampler lock is held, poisoning it and killing the thread.
+        // Historically every later touch — finish() moving state out,
+        // or Drop's stop/join — re-panicked on the poisoned locks
+        // (a panic in Drop aborts the process). All of it must now
+        // survive and hand back everything applied before the panic.
+        let rec = Arc::new(Recorder::with_capacity(1, 1 << 10));
+        let col = Collector::spawn(
+            Arc::clone(&rec),
+            CollectorConfig {
+                interval: Duration::from_millis(1),
+                ..CollectorConfig::default()
+            },
+        );
+        rec.emit(crate::EventKind::Submitted, 1, crate::NO_SHARD);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while col.tracker().tasks_seen < 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "collector never polled"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.register("bomb", || panic!("injected tick panic"));
+        col.attach_registry(reg);
+        // Wait for the thread to die on its next tick (join via the
+        // public API only: stats() keeps working off-thread).
+        std::thread::sleep(Duration::from_millis(20));
+        let report = col.finish();
+        assert_eq!(report.tracker.snapshot().tasks_seen, 1);
+        assert_eq!(report.stream.released, 1);
     }
 
     #[test]

@@ -73,6 +73,7 @@ mod registry;
 mod ring;
 mod sampler;
 mod stream;
+mod sync;
 mod tracker;
 mod watch;
 
@@ -85,7 +86,7 @@ pub use event::{Event, EventKind, NO_SHARD, NO_TASK, NO_WORKER};
 pub use export::{chrome_trace, validate_json};
 pub use hist::LogHistogram;
 pub use recorder::{Recorder, DEFAULT_LANE_CAPACITY};
-pub use registry::{MetricsGroup, MetricsRegistry, MetricsSnapshot};
+pub use registry::{Counter, CounterGroup, MetricsGroup, MetricsRegistry, MetricsSnapshot};
 pub use sampler::{jsonl_line, SampledSnapshot, Sampler};
 pub use stream::{EventStream, StreamStats, Subscriber, DEFAULT_HISTORY};
 pub use tracker::{

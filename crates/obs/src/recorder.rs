@@ -165,7 +165,7 @@ impl Recorder {
         let Some(inner) = self.inner.as_ref() else {
             return Vec::new();
         };
-        let _guard = inner.drain.lock().unwrap();
+        let _guard = crate::sync::lock_unpoisoned(&inner.drain);
         let mut out = Vec::new();
         for lane in inner.lanes.iter() {
             while let Some(ev) = lane.pop() {

@@ -9,7 +9,9 @@
 //! [`MetricsSnapshot`] that `repro` and the runtimes can render or
 //! query uniformly.
 
-use std::sync::Mutex;
+use crate::sync::lock_unpoisoned;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 type Source = Box<dyn Fn() -> Vec<(String, u64)> + Send + Sync>;
 
@@ -21,10 +23,7 @@ pub struct MetricsRegistry {
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let groups: Vec<String> = self
-            .sources
-            .lock()
-            .unwrap()
+        let groups: Vec<String> = lock_unpoisoned(&self.sources)
             .iter()
             .map(|(g, _)| g.clone())
             .collect();
@@ -48,15 +47,12 @@ impl MetricsRegistry {
     where
         F: Fn() -> Vec<(String, u64)> + Send + Sync + 'static,
     {
-        self.sources
-            .lock()
-            .unwrap()
-            .push((group.to_string(), Box::new(f)));
+        lock_unpoisoned(&self.sources).push((group.to_string(), Box::new(f)));
     }
 
     /// Snapshot every group, in registration order.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let sources = self.sources.lock().unwrap();
+        let sources = lock_unpoisoned(&self.sources);
         MetricsSnapshot {
             groups: sources
                 .iter()
@@ -66,6 +62,82 @@ impl MetricsRegistry {
                 })
                 .collect(),
         }
+    }
+}
+
+/// One live `u64` counter inside a [`CounterGroup`]. Cheap to clone
+/// (an `Arc` around one atomic) and safe to bump from any thread.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Raise to `v` if `v` is larger (high-water marks).
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Overwrite with `v` (gauges).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named set of live counters that snapshots as one registry group —
+/// the building block for *dynamic* metric groups (one per tenant in
+/// `nexuspp-service`) where the counters exist before, and independently
+/// of, any registry. Counter order is creation order.
+pub struct CounterGroup {
+    counters: Vec<(String, Counter)>,
+}
+
+impl CounterGroup {
+    /// A group with one zeroed counter per name.
+    pub fn new(names: &[&str]) -> CounterGroup {
+        CounterGroup {
+            counters: names
+                .iter()
+                .map(|n| (n.to_string(), Counter::default()))
+                .collect(),
+        }
+    }
+
+    /// The live handle for `name`, if it exists.
+    pub fn counter(&self, name: &str) -> Option<Counter> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.clone())
+    }
+
+    /// Current `(name, value)` pairs, in creation order.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect()
+    }
+
+    /// Register this group in `reg` under `group`; the registered
+    /// source reads the same atomics the handles write, so snapshots
+    /// stay live.
+    pub fn register_in(self: &Arc<Self>, reg: &MetricsRegistry, group: &str) {
+        let me = Arc::clone(self);
+        reg.register(group, move || me.snapshot());
     }
 }
 
@@ -139,6 +211,51 @@ mod tests {
         assert_eq!(reg.snapshot().get("g", "n"), Some(42));
         assert_eq!(reg.snapshot().get("g", "missing"), None);
         assert_eq!(reg.snapshot().get("missing", "n"), None);
+    }
+
+    #[test]
+    fn counter_groups_register_live_handles() {
+        let reg = MetricsRegistry::new();
+        let group = Arc::new(CounterGroup::new(&["submitted", "rejected", "peak"]));
+        group.register_in(&reg, "tenant1");
+        let submitted = group.counter("submitted").unwrap();
+        let peak = group.counter("peak").unwrap();
+        assert!(group.counter("missing").is_none());
+        submitted.inc();
+        submitted.add(2);
+        peak.record_max(5);
+        peak.record_max(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("tenant1", "submitted"), Some(3));
+        assert_eq!(snap.get("tenant1", "rejected"), Some(0));
+        assert_eq!(snap.get("tenant1", "peak"), Some(5));
+    }
+
+    #[test]
+    fn panicking_source_poisons_nothing_downstream() {
+        // A metrics source that panics unwinds while the registry's
+        // sources lock is held, poisoning it. The registry must keep
+        // working afterwards — register, snapshot, and Debug all go
+        // through the poison-tolerant lock.
+        let reg = MetricsRegistry::new();
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let armed2 = Arc::clone(&armed);
+        reg.register("bomb", move || {
+            if armed2.swap(false, Ordering::SeqCst) {
+                panic!("injected source panic");
+            }
+            vec![("ticks".to_string(), 1)]
+        });
+        reg.register("ok", || vec![("v".to_string(), 7)]);
+        let snap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| reg.snapshot()));
+        assert!(snap.is_err());
+        // The lock is now poisoned; everything must still work.
+        reg.register("late", || vec![("w".to_string(), 9)]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("bomb", "ticks"), Some(1));
+        assert_eq!(snap.get("ok", "v"), Some(7));
+        assert_eq!(snap.get("late", "w"), Some(9));
+        assert!(format!("{reg:?}").contains("bomb"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 use crate::event::Event;
 use crate::recorder::Recorder;
+use crate::sync::lock_unpoisoned;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -153,7 +154,7 @@ impl EventStream {
     /// Register a new subscriber, positioned at the current release
     /// point (it will see only events released after this call).
     pub fn subscribe(&self) -> Subscriber {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         let cursor = st.released;
         let id = st.subs.iter().position(Option::is_none).unwrap_or_else(|| {
             st.subs.push(None);
@@ -171,7 +172,7 @@ impl EventStream {
     /// number of events released by this call.
     pub fn pump(&self) -> usize {
         let batch = self.rec.drain();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         for ev in batch {
             st.pending.push(Reverse(BySeq(ev)));
         }
@@ -200,7 +201,7 @@ impl EventStream {
 
     /// Current stream progress (does not pump).
     pub fn stats(&self) -> StreamStats {
-        let st = self.state.lock().unwrap();
+        let st = lock_unpoisoned(&self.state);
         StreamStats {
             released: st.released,
             pending: st.pending.len() as u64,
@@ -237,7 +238,7 @@ impl Subscriber {
     /// resumes from the oldest retained event.
     pub fn poll(&mut self) -> Vec<Event> {
         self.stream.pump();
-        let mut st = self.stream.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.stream.state);
         let history_start = st.released - st.history.len() as u64;
         let released = st.released;
         let slot = st.subs[self.id].as_mut().expect("live subscriber slot");
@@ -254,7 +255,7 @@ impl Subscriber {
     /// Released events this subscriber never saw because it polled too
     /// rarely for the stream's history window.
     pub fn missed(&self) -> u64 {
-        let st = self.stream.state.lock().unwrap();
+        let st = lock_unpoisoned(&self.stream.state);
         st.subs[self.id].as_ref().map_or(0, |s| s.missed)
     }
 

@@ -54,5 +54,5 @@ pub use nexuspp_core::ShardCapacity;
 pub use nexuspp_sched::{SchedCounts, SchedulerKind};
 pub use nexuspp_shard::{CapacityCounts, WakeCounts, WakeMode};
 pub use region::{Region, RegionId};
-pub use runtime::{Runtime, TaskBuilder, TaskCtx};
-pub use sharded::{ShardedRuntime, ShardedTaskBuilder};
+pub use runtime::{Runtime, ShutdownReport, TaskBuilder, TaskCtx};
+pub use sharded::{PendingSpawn, ShardedRuntime, ShardedTaskBuilder};

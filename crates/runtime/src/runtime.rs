@@ -14,6 +14,7 @@
 //! [`SchedulerKind::MutexQueue`] for differential comparison.
 
 use crate::region::{ReadGuard, Region, RegionId, WriteGuard};
+use crossbeam::channel::{RecvTimeoutError, TryRecvError};
 use nexuspp_core::pool::TdIndex;
 use nexuspp_core::{DependencyEngine, NexusConfig, Priority};
 use nexuspp_obs::{EventKind, MetricsRegistry, Recorder, NO_SHARD};
@@ -22,8 +23,10 @@ use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 pub(crate) type Job = Box<dyn FnOnce(&TaskCtx) + Send + 'static>;
 /// Access grants attached to a task (region, declared mode).
@@ -45,6 +48,22 @@ struct RtState {
     submitted: u64,
 }
 
+/// What an explicit [`Runtime::shutdown`]/
+/// [`ShardedRuntime::shutdown`](crate::ShardedRuntime::shutdown) hands
+/// back: whether the drain stayed graceful, and the executed/cancelled
+/// split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// `true` if every task ran to completion within the deadline;
+    /// `false` if the hard-deadline abort path cancel-finished queued
+    /// tasks.
+    pub graceful: bool,
+    /// Tasks whose bodies ran (including panicking ones).
+    pub executed: u64,
+    /// Tasks cancel-finished without running (abort path only).
+    pub cancelled: u64,
+}
+
 struct Inner {
     state: Mutex<RtState>,
     sched: Scheduler<Work>,
@@ -52,6 +71,13 @@ struct Inner {
     quiescent: Condvar,
     /// First task panic observed (re-raised at the next barrier).
     panicked: Mutex<Option<String>>,
+    /// Hard-deadline shutdown flag: once set, ready tasks cancel-finish
+    /// (bodies dropped unexecuted, still retired in the engine).
+    aborting: AtomicBool,
+    /// Tasks whose bodies ran (including panicking ones).
+    executed: AtomicU64,
+    /// Tasks cancel-finished by a hard-deadline shutdown.
+    cancelled: AtomicU64,
     /// Lifecycle-event recorder; `None` when the runtime was built
     /// without one (zero recording overhead on every hot path).
     obs: Option<Arc<Recorder>>,
@@ -73,9 +99,10 @@ impl Inner {
     }
 
     /// Retire `td` in the engine and deliver the whole wake set as one
-    /// batched scheduling operation from worker `h`. `tag` is the
+    /// batched scheduling operation from worker `h` (or the external
+    /// path for scheduler-aware waiters, `h == None`). `tag` is the
     /// finishing task's identity for the event stream.
-    fn task_finished(&self, h: &WorkerHandle<Work>, td: TdIndex, tag: u64) {
+    fn task_finished(&self, h: Option<&WorkerHandle<Work>>, td: TdIndex, tag: u64) {
         let woken: Vec<(Work, Priority)> = {
             let mut st = self.state.lock();
             let fin = st.engine.finish(td);
@@ -104,7 +131,10 @@ impl Inner {
         for (work, _) in &woken {
             self.emit(EventKind::WakeDelivered, work.tag);
         }
-        self.sched.wake_batch(h, woken);
+        match h {
+            Some(h) => self.sched.wake_batch(h, woken),
+            None => self.sched.wake_batch_external(woken),
+        }
         let mut p = self.pending.lock();
         *p -= 1;
         if *p == 0 {
@@ -239,7 +269,9 @@ impl<'rt> TaskBuilder<'rt> {
 /// The StarSs-like task dataflow runtime.
 pub struct Runtime {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    /// Behind a mutex so [`shutdown`](Self::shutdown) can join through
+    /// `&self` (services share the runtime in an `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -283,7 +315,8 @@ impl Runtime {
     }
 
     fn build(n: usize, kind: SchedulerKind, obs: Option<Arc<Recorder>>) -> Self {
-        assert!(n >= 1, "need at least one worker");
+        // n == 0 is allowed: no worker threads are spawned and every
+        // task executes inside a scheduler-aware waiter (`wait_on`).
         let (mut sched, handles) = Scheduler::new(kind, n);
         if let Some(rec) = &obs {
             sched.set_recorder(Arc::clone(rec), |w: &Work| w.tag);
@@ -298,6 +331,9 @@ impl Runtime {
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             panicked: Mutex::new(None),
+            aborting: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             obs,
         });
         let workers = handles
@@ -310,7 +346,10 @@ impl Runtime {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        Runtime { inner, workers }
+        Runtime {
+            inner,
+            workers: Mutex::new(workers),
+        }
     }
 
     /// Which ready-task scheduler this runtime drives.
@@ -341,6 +380,8 @@ impl Runtime {
             vec![
                 ("submitted".into(), inner.state.lock().submitted),
                 ("pending".into(), *inner.pending.lock()),
+                ("executed".into(), inner.executed.load(Ordering::Relaxed)),
+                ("cancelled".into(), inner.cancelled.load(Ordering::Relaxed)),
             ]
         });
         let inner = Arc::clone(&self.inner);
@@ -379,12 +420,98 @@ impl Runtime {
     ///
     /// Must be called from outside task context (calling it from within a
     /// task can deadlock if all workers block on waits).
+    ///
+    /// The waiter is scheduler-aware: instead of blocking on a channel
+    /// (starving the pool of one thread), it pops/steals ready tasks
+    /// and executes them until its probe completes — a graph completes
+    /// even at `workers == 0` with a single waiter. If the runtime is
+    /// torn down (hard-deadline shutdown cancels the probe), the wait
+    /// returns cleanly instead of panicking.
     pub fn wait_on<T>(&self, region: &Region<T>) {
         let (tx, rx) = crossbeam::channel::bounded::<()>(1);
         self.task().input(region).high_priority().spawn(move |_| {
             let _ = tx.send(());
         });
-        rx.recv().expect("wait_on probe vanished");
+        loop {
+            match rx.try_recv() {
+                Ok(()) => return,
+                // Probe dropped unexecuted: the runtime is aborting; its
+                // producers will never run, so there is nothing to wait
+                // for.
+                Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => {}
+            }
+            if let Some(work) = self.inner.sched.try_next_external() {
+                execute_work(&self.inner, work, None);
+            } else {
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            }
+        }
+    }
+
+    /// Graceful explicit shutdown: drain every in-flight task, then stop
+    /// and join the workers. Equivalent to `drop` but hands back a
+    /// [`ShutdownReport`] and is callable through a shared reference.
+    /// Does not re-raise task panics. Submitting after shutdown is a
+    /// caller error (tasks would queue forever).
+    pub fn shutdown(&self) -> ShutdownReport {
+        self.shutdown_inner(None)
+    }
+
+    /// Shutdown with a hard deadline: wait up to `deadline` for a
+    /// graceful drain; past it, every still-queued task cancel-finishes
+    /// (body dropped unexecuted, retired in the engine so dependents
+    /// drain). Bodies already running are never interrupted.
+    pub fn shutdown_deadline(&self, deadline: Duration) -> ShutdownReport {
+        self.shutdown_inner(Some(deadline))
+    }
+
+    fn shutdown_inner(&self, deadline: Option<Duration>) -> ShutdownReport {
+        let mut graceful = true;
+        {
+            let mut p = self.inner.pending.lock();
+            match deadline {
+                None => {
+                    while *p > 0 {
+                        self.inner.quiescent.wait(&mut p);
+                    }
+                }
+                Some(d) => {
+                    let start = Instant::now();
+                    while *p > 0 {
+                        match d.checked_sub(start.elapsed()) {
+                            Some(left) if !left.is_zero() => {
+                                let _ = self.inner.quiescent.wait_for(&mut p, left);
+                            }
+                            _ => {
+                                graceful = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !graceful {
+            self.inner.aborting.store(true, Ordering::SeqCst);
+            let mut p = self.inner.pending.lock();
+            while *p > 0 {
+                self.inner.quiescent.wait(&mut p);
+            }
+        }
+        self.inner.sched.shutdown();
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for w in handles {
+            let _ = w.join();
+        }
+        ShutdownReport {
+            graceful,
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+        }
     }
 
     /// Wait until every submitted task has finished — the equivalent of
@@ -435,10 +562,25 @@ pub(crate) fn sched_counters(c: &SchedCounts) -> Vec<(String, u64)> {
 fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Work>) {
     Recorder::set_thread_worker(h.id() as u32);
     while let Some(work) = inner.sched.next(h) {
+        execute_work(inner, work, Some(h));
+    }
+}
+
+/// Run (or, when aborting, cancel) one ready task and retire it. Shared
+/// by the worker loop and scheduler-aware waiters (`h == None` — wakes
+/// then go through the external scheduling path).
+fn execute_work(inner: &Arc<Inner>, work: Work, h: Option<&WorkerHandle<Work>>) {
+    let tag = work.tag;
+    let td = work.td;
+    if inner.aborting.load(Ordering::SeqCst) {
+        // Hard-deadline shutdown: drop the body unexecuted (releasing
+        // its captures) but still retire the task so the graph drains.
+        drop(work.job);
+        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+    } else {
         let ctx = TaskCtx {
             grants: work.grants,
         };
-        let tag = work.tag;
         inner.emit(EventKind::ExecStart, tag);
         // Keep the runtime's bookkeeping sound even when a task panics:
         // record the payload, finish the task, re-raise at the next
@@ -448,14 +590,16 @@ fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Work>) {
             inner.panicked.lock().get_or_insert(panic_msg(&*payload));
         }
         inner.emit(EventKind::ExecDone, tag);
-        inner.task_finished(h, work.td, tag);
+        inner.executed.fetch_add(1, Ordering::Relaxed);
     }
+    inner.task_finished(h, td, tag);
 }
 
 impl Drop for Runtime {
     fn drop(&mut self) {
         // Drain in-flight work (without re-raising task panics — Drop
-        // must not panic), then stop every worker and join it.
+        // must not panic), then stop every worker and join it. A no-op
+        // beyond the scheduler flag if an explicit shutdown already ran.
         {
             let mut p = self.inner.pending.lock();
             while *p > 0 {
@@ -463,7 +607,8 @@ impl Drop for Runtime {
             }
         }
         self.inner.sched.shutdown();
-        for w in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for w in handles {
             let _ = w.join();
         }
     }

@@ -32,17 +32,19 @@
 //! concurrent finisher posted and skipped) straight into `wake_batch`.
 
 use crate::region::{Region, RegionId};
-use crate::runtime::{sched_counters, Grants, Job, TaskCtx};
-use nexuspp_core::{NexusConfig, Priority, ShardCapacity, Submission};
+use crate::runtime::{sched_counters, Grants, Job, ShutdownReport, TaskCtx};
+use crossbeam::channel::{RecvTimeoutError, TryRecvError};
+use nexuspp_core::{NexusConfig, Priority, ShardCapacity, Submission, SubmitError};
 use nexuspp_obs::{EventKind, MetricsRegistry, Recorder};
 use nexuspp_sched::{SchedCounts, Scheduler, SchedulerKind, WorkerHandle};
 use nexuspp_shard::{CapacityCounts, ShardDispatcher, TaskTicket, WakeCounts, WakeMode};
 use nexuspp_trace::normalize::normalize_params;
 use nexuspp_trace::{AccessMode, Param};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Payload delivered when a task becomes ready.
 struct Work {
@@ -53,6 +55,25 @@ struct Work {
 
 /// A scheduled unit: the dispatcher ticket plus the work to run.
 type Ready = (TaskTicket<Work>, Work);
+
+/// A submission rejected by
+/// [`try_spawn_lowered`](ShardedRuntime::try_spawn_lowered), handed
+/// back intact (closure included) for resubmission once the retryable
+/// condition clears. Opaque: the closure cannot be recovered, only
+/// resubmitted via [`try_respawn`](ShardedRuntime::try_respawn).
+pub struct PendingSpawn {
+    fptr: u64,
+    tag: u64,
+    params: Vec<Param>,
+    work: Work,
+}
+
+impl PendingSpawn {
+    /// The caller tag of the rejected submission.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+}
 
 struct Inner {
     dispatcher: ShardDispatcher<Work>,
@@ -65,6 +86,15 @@ struct Inner {
     quiescent: Condvar,
     /// First task panic observed (re-raised at the next barrier).
     panicked: Mutex<Option<String>>,
+    /// Hard-deadline shutdown flag: once set, ready tasks cancel-finish
+    /// (their bodies are dropped unexecuted but they still retire
+    /// through the dispatcher, so the graph drains and `pending`
+    /// reaches zero).
+    aborting: AtomicBool,
+    /// Tasks whose bodies ran (including panicking ones).
+    executed: AtomicU64,
+    /// Tasks cancel-finished by a hard-deadline shutdown.
+    cancelled: AtomicU64,
     /// Lifecycle-event recorder for the exec phase; the dispatcher holds
     /// its own clone for the resolution/wake phases. `None` when the
     /// runtime was built without one.
@@ -139,7 +169,9 @@ impl<'rt> ShardedTaskBuilder<'rt> {
 /// The StarSs-like runtime over sharded, per-shard-locked resolution.
 pub struct ShardedRuntime {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
+    /// Behind a mutex so [`shutdown`](Self::shutdown) can join through
+    /// `&self` (services share the runtime in an `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ShardedRuntime {
@@ -247,7 +279,8 @@ impl ShardedRuntime {
         wake_mode: WakeMode,
         obs: Option<Arc<Recorder>>,
     ) -> Self {
-        assert!(n >= 1, "need at least one worker");
+        // n == 0 is allowed: no worker threads are spawned and every
+        // task executes inside a scheduler-aware waiter (`wait_on`).
         let (mut sched, handles) = Scheduler::new(kind, n);
         let mut dispatcher =
             ShardDispatcher::with_mode(shards, &NexusConfig::unbounded(), capacity, wake_mode);
@@ -262,6 +295,9 @@ impl ShardedRuntime {
             pending: Mutex::new(0),
             quiescent: Condvar::new(),
             panicked: Mutex::new(None),
+            aborting: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             obs,
         });
         let workers = handles
@@ -274,7 +310,10 @@ impl ShardedRuntime {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ShardedRuntime { inner, workers }
+        ShardedRuntime {
+            inner,
+            workers: Mutex::new(workers),
+        }
     }
 
     /// Number of shards resolution is partitioned over.
@@ -336,6 +375,8 @@ impl ShardedRuntime {
             vec![
                 ("submitted".into(), inner.submitted.load(Ordering::Relaxed)),
                 ("pending".into(), *inner.pending.lock()),
+                ("executed".into(), inner.executed.load(Ordering::Relaxed)),
+                ("cancelled".into(), inner.cancelled.load(Ordering::Relaxed)),
             ]
         });
         let inner = Arc::clone(&self.inner);
@@ -434,14 +475,188 @@ impl ShardedRuntime {
         }
     }
 
+    /// Non-blocking form of [`spawn_lowered`](Self::spawn_lowered): a
+    /// submission whose shards are at their [`ShardCapacity`] bound is
+    /// handed back as a [`PendingSpawn`] with a retryable
+    /// [`SubmitError`] instead of parking the submitting thread — the
+    /// backpressure primitive service ingress layers signal to remote
+    /// clients. Resubmit the returned [`PendingSpawn`] with
+    /// [`try_respawn`](Self::try_respawn) after a finish frees slots.
+    /// Validation failures (duplicate addresses) surface the same way
+    /// with a non-retryable error.
+    pub fn try_spawn_lowered(
+        &self,
+        sub: Submission,
+        f: impl FnOnce() + Send + 'static,
+    ) -> Result<(), (SubmitError, PendingSpawn)> {
+        let prio = sub.priority;
+        let (fptr, tag, params) = sub.into_parts();
+        let grants: Grants = Arc::new(params.iter().map(|p| (RegionId(p.addr), p.mode)).collect());
+        let work = Work {
+            grants,
+            job: Box::new(move |_ctx| f()),
+            prio,
+        };
+        self.try_submit_work(PendingSpawn {
+            fptr,
+            tag,
+            params,
+            work,
+        })
+    }
+
+    /// Resubmit a spawn previously rejected by
+    /// [`try_spawn_lowered`](Self::try_spawn_lowered).
+    pub fn try_respawn(&self, p: PendingSpawn) -> Result<(), (SubmitError, PendingSpawn)> {
+        self.try_submit_work(p)
+    }
+
+    fn try_submit_work(&self, p: PendingSpawn) -> Result<(), (SubmitError, PendingSpawn)> {
+        let PendingSpawn {
+            fptr,
+            tag,
+            params,
+            work,
+        } = p;
+        let prio = work.prio;
+        let inner = &self.inner;
+        {
+            let mut pending = inner.pending.lock();
+            *pending += 1;
+        }
+        match inner.dispatcher.try_submit(fptr, tag, &params, work) {
+            Ok(res) => {
+                inner.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(work) = res.ready {
+                    inner.sched.submit((res.ticket, work), prio);
+                }
+                Ok(())
+            }
+            Err((e, work)) => {
+                // Roll the optimistic pending increment back; a barrier
+                // waiting concurrently must not count a rejected task.
+                let mut pending = inner.pending.lock();
+                *pending -= 1;
+                if *pending == 0 {
+                    inner.quiescent.notify_all();
+                }
+                drop(pending);
+                Err((
+                    e,
+                    PendingSpawn {
+                        fptr,
+                        tag,
+                        params,
+                        work,
+                    },
+                ))
+            }
+        }
+    }
+
     /// Block until every producer of `region` submitted so far has
     /// finished (see [`Runtime::wait_on`](crate::Runtime::wait_on)).
+    ///
+    /// The waiter is scheduler-aware: instead of blocking on a channel
+    /// (starving the pool of one thread), it pops/steals ready tasks
+    /// and executes them until its probe completes — a graph completes
+    /// even at `workers == 0` with a single waiter. If the runtime is
+    /// torn down (hard-deadline shutdown cancels the probe), the wait
+    /// returns cleanly instead of panicking.
     pub fn wait_on<T>(&self, region: &Region<T>) {
         let (tx, rx) = crossbeam::channel::bounded::<()>(1);
         self.task().input(region).high_priority().spawn(move |_| {
             let _ = tx.send(());
         });
-        rx.recv().expect("wait_on probe vanished");
+        loop {
+            match rx.try_recv() {
+                Ok(()) => return,
+                // Probe dropped unexecuted: the runtime is aborting; its
+                // producers will never run, so there is nothing to wait
+                // for.
+                Err(TryRecvError::Disconnected) => return,
+                Err(TryRecvError::Empty) => {}
+            }
+            // Help: run one ready task (any task — policy order) rather
+            // than sleeping on the probe.
+            if let Some((ticket, work)) = self.inner.sched.try_next_external() {
+                execute_ready(&self.inner, ticket, work, None);
+            } else {
+                match rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            }
+        }
+    }
+
+    /// Graceful explicit shutdown: drain every in-flight task (running
+    /// bodies finish, queued tasks execute), then stop and join the
+    /// workers. Equivalent to `drop` but hands back a
+    /// [`ShutdownReport`] and is callable through a shared reference
+    /// (`Arc<ShardedRuntime>` in service deployments). Does not
+    /// re-raise task panics. Submitting after shutdown is a caller
+    /// error (tasks would queue forever).
+    pub fn shutdown(&self) -> ShutdownReport {
+        self.shutdown_inner(None)
+    }
+
+    /// Shutdown with a hard deadline: wait up to `deadline` for a
+    /// graceful drain; past it, flip the abort flag so every
+    /// still-queued task **cancel-finishes** — its body is dropped
+    /// unexecuted, but it still retires through the dispatcher, so
+    /// dependents drain (cascading the cancellation) and quiescence is
+    /// reached. Bodies already running are never interrupted; the join
+    /// still waits for them.
+    pub fn shutdown_deadline(&self, deadline: Duration) -> ShutdownReport {
+        self.shutdown_inner(Some(deadline))
+    }
+
+    fn shutdown_inner(&self, deadline: Option<Duration>) -> ShutdownReport {
+        let mut graceful = true;
+        {
+            let mut p = self.inner.pending.lock();
+            match deadline {
+                None => {
+                    while *p > 0 {
+                        self.inner.quiescent.wait(&mut p);
+                    }
+                }
+                Some(d) => {
+                    let start = Instant::now();
+                    while *p > 0 {
+                        match d.checked_sub(start.elapsed()) {
+                            Some(left) if !left.is_zero() => {
+                                let _ = self.inner.quiescent.wait_for(&mut p, left);
+                            }
+                            _ => {
+                                graceful = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !graceful {
+            self.inner.aborting.store(true, Ordering::SeqCst);
+            // Every queued task now cancel-finishes; wait out the
+            // remaining (already-running) bodies.
+            let mut p = self.inner.pending.lock();
+            while *p > 0 {
+                self.inner.quiescent.wait(&mut p);
+            }
+        }
+        self.inner.sched.shutdown();
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for w in handles {
+            let _ = w.join();
+        }
+        ShutdownReport {
+            graceful,
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+        }
     }
 
     /// Wait until every submitted task has finished. Re-raises the first
@@ -473,6 +688,27 @@ impl ShardedRuntime {
 fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Ready>) {
     Recorder::set_thread_worker(h.id() as u32);
     while let Some((ticket, work)) = inner.sched.next(h) {
+        execute_ready(inner, ticket, work, Some(h));
+    }
+}
+
+/// Run (or, when aborting, cancel) one ready unit and retire it. Shared
+/// by the worker loop and scheduler-aware waiters (`h == None` — wakes
+/// then go through the external scheduling path).
+fn execute_ready(
+    inner: &Arc<Inner>,
+    ticket: TaskTicket<Work>,
+    work: Work,
+    h: Option<&WorkerHandle<Ready>>,
+) {
+    if inner.aborting.load(Ordering::SeqCst) {
+        // Hard-deadline shutdown: drop the body unexecuted (releasing
+        // its captures — e.g. a wait_on probe's sender, which is how
+        // parked waiters learn the runtime is gone) but still retire the
+        // task below so the graph drains.
+        drop(work.job);
+        inner.cancelled.fetch_add(1, Ordering::Relaxed);
+    } else {
         let ctx = TaskCtx::from_grants(work.grants);
         if let Some(r) = &inner.obs {
             r.emit(EventKind::ExecStart, ticket.tag(), nexuspp_obs::NO_SHARD);
@@ -487,29 +723,33 @@ fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Ready>) {
         if let Some(r) = &inner.obs {
             r.emit(EventKind::ExecDone, ticket.tag(), nexuspp_obs::NO_SHARD);
         }
-        // Retire through the sharded dispatcher: only the shards this
-        // task touched are locked (for table access; wake delivery runs
-        // outside the locks under WakeMode::LockFree), and the report may
-        // carry wakes and completions drained on behalf of other workers.
-        // The whole wake set is delivered as one batched scheduling
-        // operation.
-        let report = inner.dispatcher.finish(ticket);
-        let completed = report.completed;
-        let woken: Vec<(Ready, Priority)> = report
-            .woken
-            .into_iter()
-            .map(|(ticket, work)| {
-                let prio = work.prio;
-                ((ticket, work), prio)
-            })
-            .collect();
-        inner.sched.wake_batch(h, woken);
-        if completed > 0 {
-            let mut p = inner.pending.lock();
-            *p -= report.completed;
-            if *p == 0 {
-                inner.quiescent.notify_all();
-            }
+        inner.executed.fetch_add(1, Ordering::Relaxed);
+    }
+    // Retire through the sharded dispatcher: only the shards this
+    // task touched are locked (for table access; wake delivery runs
+    // outside the locks under WakeMode::LockFree), and the report may
+    // carry wakes and completions drained on behalf of other workers.
+    // The whole wake set is delivered as one batched scheduling
+    // operation.
+    let report = inner.dispatcher.finish(ticket);
+    let completed = report.completed;
+    let woken: Vec<(Ready, Priority)> = report
+        .woken
+        .into_iter()
+        .map(|(ticket, work)| {
+            let prio = work.prio;
+            ((ticket, work), prio)
+        })
+        .collect();
+    match h {
+        Some(h) => inner.sched.wake_batch(h, woken),
+        None => inner.sched.wake_batch_external(woken),
+    }
+    if completed > 0 {
+        let mut p = inner.pending.lock();
+        *p -= completed;
+        if *p == 0 {
+            inner.quiescent.notify_all();
         }
     }
 }
@@ -517,7 +757,8 @@ fn worker_loop(inner: &Arc<Inner>, h: &WorkerHandle<Ready>) {
 impl Drop for ShardedRuntime {
     fn drop(&mut self) {
         // Drain in-flight work (without re-raising task panics — Drop
-        // must not panic), then stop every worker and join it.
+        // must not panic), then stop every worker and join it. A no-op
+        // beyond the scheduler flag if an explicit shutdown already ran.
         {
             let mut p = self.inner.pending.lock();
             while *p > 0 {
@@ -525,7 +766,8 @@ impl Drop for ShardedRuntime {
             }
         }
         self.inner.sched.shutdown();
-        for w in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = self.workers.lock().drain(..).collect();
+        for w in handles {
             let _ = w.join();
         }
     }

@@ -132,8 +132,12 @@ pub struct Scheduler<T> {
 impl<T: Send> Scheduler<T> {
     /// Build a scheduler and one [`WorkerHandle`] per worker. Handle `i`
     /// belongs to worker `i`; each must be moved into exactly one thread.
+    ///
+    /// `n_workers == 0` is allowed: no handles are produced and nothing
+    /// ever calls [`next`](Self::next) — every queued task must then be
+    /// drained through [`try_next_external`](Self::try_next_external)
+    /// (the scheduler-aware-waiter configuration).
     pub fn new(kind: SchedulerKind, n_workers: usize) -> (Self, Vec<WorkerHandle<T>>) {
-        assert!(n_workers >= 1, "need at least one worker");
         let (imp, locals) = match kind {
             SchedulerKind::MutexQueue => (Imp::Mutex(MutexScheduler::new()), None),
             SchedulerKind::WorkStealing => {
@@ -234,6 +238,40 @@ impl<T: Send> Scheduler<T> {
         match &self.imp {
             Imp::Mutex(m) => m.next(&self.metrics),
             Imp::Ws(ws) => ws.next(h, &self.metrics, self.obs.as_ref()),
+        }
+    }
+
+    /// Non-blocking pop from *outside* any worker thread — the endpoint
+    /// for scheduler-aware waiters (a blocked `wait_on` caller executing
+    /// ready tasks until its probe completes) and 0-worker runtimes.
+    /// Sweeps the shared sources in policy order: the high-priority
+    /// queue, the injector (mutex kind: the global queue), then steals
+    /// from worker deques. Returns `None` when no ready task is
+    /// currently visible — which is not quiescence; a running task may
+    /// publish more work.
+    pub fn try_next_external(&self) -> Option<T> {
+        match &self.imp {
+            Imp::Mutex(m) => m.try_pop(&self.metrics),
+            Imp::Ws(ws) => ws.try_find_external(&self.metrics, self.obs.as_ref()),
+        }
+    }
+
+    /// Deliver a finish report's wakes from outside worker context (an
+    /// external helper has no [`WorkerHandle`], so the items land on the
+    /// shared queues instead of a local deque). One queue lock + one
+    /// token under the mutex kind, injector pushes under work stealing.
+    pub fn wake_batch_external(&self, items: Vec<(T, Priority)>) {
+        if items.is_empty() {
+            return;
+        }
+        SchedMetrics::bump(&self.metrics.wake_batches);
+        match &self.imp {
+            Imp::Mutex(m) => m.push_batch(items),
+            Imp::Ws(ws) => {
+                for (item, prio) in items {
+                    ws.push_external(item, prio, &self.metrics);
+                }
+            }
         }
     }
 

@@ -102,27 +102,46 @@ impl<T: Send> MutexScheduler<T> {
     }
 
     pub(crate) fn next(&self, metrics: &SchedMetrics) -> Option<T> {
-        match self.rx.recv() {
-            Ok(Token::Wake(n)) => {
-                if n > 1 {
-                    // Pass the remainder of the batch on before working,
-                    // so sibling workers start on it immediately.
-                    let _ = self.tx.send(Token::Wake(n - 1));
+        loop {
+            match self.rx.recv() {
+                Ok(Token::Wake(n)) => {
+                    if n > 1 {
+                        // Pass the remainder of the batch on before working,
+                        // so sibling workers start on it immediately.
+                        let _ = self.tx.send(Token::Wake(n - 1));
+                    }
+                    // An external helper (a scheduler-aware waiter) may
+                    // have popped the promised item directly, leaving its
+                    // token behind; such a token is spurious — keep
+                    // waiting rather than asserting.
+                    match self.ready.lock().pop() {
+                        Some((item, prio)) => {
+                            SchedMetrics::bump(if prio.is_high() {
+                                &metrics.high_pops
+                            } else {
+                                &metrics.injector_pops
+                            });
+                            return Some(item);
+                        }
+                        None => continue,
+                    }
                 }
-                let (item, prio) = self
-                    .ready
-                    .lock()
-                    .pop()
-                    .expect("wake token without ready work");
-                SchedMetrics::bump(if prio.is_high() {
-                    &metrics.high_pops
-                } else {
-                    &metrics.injector_pops
-                });
-                Some(item)
+                Ok(Token::Shutdown) | Err(_) => return None,
             }
-            Ok(Token::Shutdown) | Err(_) => None,
         }
+    }
+
+    /// Non-blocking direct pop for external helpers (threads without a
+    /// wake-token receiver loop). The helper's pop orphans one queued
+    /// wake token, which [`next`](Self::next) absorbs as spurious.
+    pub(crate) fn try_pop(&self, metrics: &SchedMetrics) -> Option<T> {
+        let (item, prio) = self.ready.lock().pop()?;
+        SchedMetrics::bump(if prio.is_high() {
+            &metrics.high_pops
+        } else {
+            &metrics.injector_pops
+        });
+        Some(item)
     }
 
     /// Stop `n_workers` workers: one `Shutdown` token each.

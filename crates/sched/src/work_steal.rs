@@ -214,6 +214,47 @@ impl<T: Send> WorkStealScheduler<T> {
         None
     }
 
+    /// One sweep over the *shared* sources only — high-priority queue,
+    /// injector, then stealing from every worker deque — for callers
+    /// without a [`WorkerHandle`] (scheduler-aware waiters, 0-worker
+    /// runtimes). Safe from any thread: stealing is the deques' MPMC
+    /// side.
+    pub(crate) fn try_find_external(
+        &self,
+        metrics: &SchedMetrics,
+        obs: Option<&SchedObs<T>>,
+    ) -> Option<T> {
+        if let Steal::Success(item) = self.high.steal() {
+            SchedMetrics::bump(&metrics.high_pops);
+            return Some(item);
+        }
+        if let Steal::Success(item) = self.injector.steal() {
+            SchedMetrics::bump(&metrics.injector_pops);
+            return Some(item);
+        }
+        let n = self.stealers.len();
+        for _pass in 0..2 {
+            let mut contended = false;
+            for victim in 0..n {
+                match self.stealers[victim].steal() {
+                    Steal::Success(item) => {
+                        SchedMetrics::bump(&metrics.steals);
+                        if let Some(o) = obs {
+                            o.rec.emit(EventKind::Stolen, (o.tag_of)(&item), NO_SHARD);
+                        }
+                        return Some(item);
+                    }
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if !contended {
+                break;
+            }
+        }
+        None
+    }
+
     /// Wake one sleeper if any are registered. Cheap when everyone is
     /// busy: a single relaxed-path atomic load.
     fn maybe_unpark(&self, metrics: &SchedMetrics) {

@@ -247,3 +247,77 @@ fn submissions_from_many_external_threads_all_dispatch() {
         );
     }
 }
+
+/// External (handle-less) draining: a thread with no WorkerHandle pops
+/// everything a 0-worker scheduler holds, including wakes it delivers
+/// itself — the shape a scheduler-aware waiter relies on.
+#[test]
+fn external_pop_drains_a_zero_worker_scheduler() {
+    for kind in KINDS {
+        let (sched, handles) = Scheduler::<u64>::new(kind, 0);
+        assert!(handles.is_empty());
+        for v in 0..8u64 {
+            sched.submit(v, Priority::Normal);
+        }
+        sched.submit(100, Priority::High);
+        let mut got = Vec::new();
+        while let Some(v) = sched.try_next_external() {
+            got.push(v);
+            if v == 3 {
+                // Wakes delivered externally surface through the same pop.
+                sched.wake_batch_external(vec![(200, Priority::Normal)]);
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5, 6, 7, 100, 200], "{kind:?}");
+        assert_eq!(sched.counts().dispatched(), 10, "{kind:?}");
+        sched.shutdown();
+    }
+}
+
+/// A worker blocked in next() must tolerate an external helper popping
+/// the item its wake token promised (the token becomes spurious) and
+/// still dispatch later work.
+#[test]
+fn workers_absorb_tokens_orphaned_by_external_pops() {
+    for kind in KINDS {
+        let (sched, mut handles) = Scheduler::<u64>::new(kind, 1);
+        let sched = Arc::new(sched);
+        let h = handles.pop().unwrap();
+        let seen = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let sched = Arc::clone(&sched);
+            let seen = Arc::clone(&seen);
+            std::thread::spawn(move || {
+                while let Some(v) = sched.next(&h) {
+                    seen.fetch_add(v, Ordering::SeqCst);
+                }
+            })
+        };
+        // Race external pops against the worker; whoever wins, every
+        // item must be dispatched exactly once and nothing may hang.
+        let mut external_sum = 0u64;
+        for round in 1..=50u64 {
+            sched.submit(round, Priority::Normal);
+            if let Some(v) = sched.try_next_external() {
+                external_sum += v;
+            }
+        }
+        let expect: u64 = (1..=50).sum();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while seen.load(Ordering::SeqCst) + external_sum < expect {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "lost items ({kind:?})"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            seen.load(Ordering::SeqCst) + external_sum,
+            expect,
+            "{kind:?}"
+        );
+        sched.shutdown();
+        worker.join().unwrap();
+    }
+}

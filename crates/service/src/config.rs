@@ -1,0 +1,91 @@
+//! Service construction parameters.
+
+use nexuspp_core::{ShardCapacity, TenantId};
+use nexuspp_sched::SchedulerKind;
+use nexuspp_shard::WakeMode;
+
+/// Everything a [`ResolverService`](crate::ResolverService) is built
+/// from: the wrapped runtime's shape plus the tenant roster.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the wrapped runtime.
+    pub workers: usize,
+    /// Dependency-resolution shards.
+    pub shards: usize,
+    /// Ready-task scheduler kind.
+    pub scheduler: SchedulerKind,
+    /// Per-shard residency bound. Bounded capacity is what makes the
+    /// ingress retry slot earn its keep; unbounded never rejects.
+    pub capacity: ShardCapacity,
+    /// Wake-delivery mode of the dispatcher.
+    pub wake_mode: WakeMode,
+    /// Bound of each tenant's ingress lane (queued, not yet admitted).
+    /// A full lane is client-visible backpressure.
+    pub lane_capacity: usize,
+    /// Max tasks admitted from one lane per ingress sweep before moving
+    /// to the next lane (round-robin fairness quantum).
+    pub sweep_batch: usize,
+    pub(crate) tenants: Vec<(TenantId, u64)>,
+}
+
+impl ServiceConfig {
+    /// A config with `workers` workers and `shards` shards, default
+    /// scheduler/capacity/wake mode, and no tenants yet (add with
+    /// [`tenant`](Self::tenant)).
+    pub fn new(workers: usize, shards: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            shards,
+            scheduler: SchedulerKind::default(),
+            capacity: ShardCapacity::Unbounded,
+            wake_mode: WakeMode::default(),
+            lane_capacity: 256,
+            sweep_batch: 32,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Register a tenant with an in-flight budget (tasks admitted into
+    /// the runtime but not yet retired). Only registered tenants get a
+    /// [`SubmissionHandle`](crate::SubmissionHandle).
+    pub fn tenant(mut self, id: TenantId, budget: u64) -> Self {
+        self.tenants.push((id, budget));
+        self
+    }
+
+    /// Select the ready-task scheduler.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Bound each shard's resident tasks (exercises the capacity-retry
+    /// ingress path).
+    pub fn capacity(mut self, cap: ShardCapacity) -> Self {
+        self.capacity = cap;
+        self
+    }
+
+    /// Select the wake-delivery mode.
+    pub fn wake_mode(mut self, mode: WakeMode) -> Self {
+        self.wake_mode = mode;
+        self
+    }
+
+    /// Bound each tenant's ingress lane.
+    pub fn lane_capacity(mut self, cap: usize) -> Self {
+        self.lane_capacity = cap.max(1);
+        self
+    }
+
+    /// Set the per-lane fairness quantum.
+    pub fn sweep_batch(mut self, batch: usize) -> Self {
+        self.sweep_batch = batch.max(1);
+        self
+    }
+
+    /// The registered tenants, in registration order.
+    pub fn tenants(&self) -> impl Iterator<Item = (TenantId, u64)> + '_ {
+        self.tenants.iter().copied()
+    }
+}

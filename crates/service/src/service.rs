@@ -1,0 +1,228 @@
+//! The [`ResolverService`] front: construction, handle vending,
+//! two-phase shutdown.
+
+use crate::config::ServiceConfig;
+use crate::ingress::{self, IngressShared, IngressStats, Lane};
+use crate::metrics::TenantMetrics;
+use crate::task::{IngressGate, IngressSignal, SubmissionHandle};
+use nexuspp_core::TenantId;
+use nexuspp_obs::{Collector, MetricsRegistry, MetricsSnapshot};
+use nexuspp_runtime::{ShardedRuntime, ShutdownReport};
+use nexuspp_shard::{TenantBudgets, TenantCounts};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What [`ResolverService::shutdown`] /
+/// [`shutdown_deadline`](ResolverService::shutdown_deadline) hands
+/// back. Every task a client got `Ok` for is accounted exactly once:
+/// `runtime.executed` (body ran), `runtime.cancelled` (admitted, then
+/// cancel-finished by the abort path), or `dropped_ingress` (accepted
+/// into a lane, discarded un-admitted by the hard deadline).
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// `true` iff the drain stayed graceful end to end: no ingress
+    /// drops and a graceful runtime quiesce.
+    pub graceful: bool,
+    /// The wrapped runtime's own shutdown accounting.
+    pub runtime: ShutdownReport,
+    /// Accepted tasks discarded before admission (hard deadline only).
+    pub dropped_ingress: u64,
+    /// Final per-tenant budget ledgers, sorted by tenant.
+    pub tenants: Vec<(TenantId, TenantCounts)>,
+}
+
+/// A persistent, multi-tenant resolver: the sharded runtime behind a
+/// streaming ingress. See the crate docs for the architecture.
+pub struct ResolverService {
+    rt: Arc<ShardedRuntime>,
+    registry: Arc<MetricsRegistry>,
+    shared: Arc<IngressShared>,
+    gate: Arc<IngressGate>,
+    handles: HashMap<TenantId, SubmissionHandle>,
+    ingress: Mutex<Option<JoinHandle<IngressStats>>>,
+    /// Stats captured by whichever call actually performed shutdown.
+    finished: Mutex<Option<IngressStats>>,
+}
+
+impl ResolverService {
+    /// Start a service (runtime workers spawned, ingress thread
+    /// running, handles ready to vend).
+    pub fn start(cfg: ServiceConfig) -> ResolverService {
+        ResolverService::build(cfg, None)
+    }
+
+    /// As [`start`](Self::start), wired into an observability
+    /// [`Collector`]: the runtime emits lifecycle events into it and
+    /// the service's full registry (runtime groups + one group per
+    /// tenant) replaces the collector's sampled registry.
+    pub fn with_observer(cfg: ServiceConfig, collector: &Collector) -> ResolverService {
+        ResolverService::build(cfg, Some(collector))
+    }
+
+    fn build(cfg: ServiceConfig, collector: Option<&Collector>) -> ResolverService {
+        let rt = Arc::new(match collector {
+            Some(c) => ShardedRuntime::with_observer(
+                cfg.workers,
+                cfg.shards,
+                cfg.scheduler,
+                cfg.capacity,
+                cfg.wake_mode,
+                c,
+            ),
+            None => ShardedRuntime::with_options(
+                cfg.workers,
+                cfg.shards,
+                cfg.scheduler,
+                cfg.capacity,
+                cfg.wake_mode,
+            ),
+        });
+        let registry = Arc::new(rt.metrics());
+        let budgets = Arc::new(TenantBudgets::new(cfg.tenants.iter().copied()));
+        let signal = Arc::new(IngressSignal::new());
+        let gate = Arc::new(IngressGate::new());
+        let mut lanes = Vec::new();
+        let mut handles = HashMap::new();
+        for (tenant, _budget) in cfg.tenants() {
+            if handles.contains_key(&tenant) {
+                continue; // duplicate registration: first entry wins
+            }
+            let (tx, rx) = crossbeam::channel::bounded(cfg.lane_capacity);
+            let metrics = Arc::new(TenantMetrics::new());
+            metrics.register_in(&registry, tenant, &budgets);
+            lanes.push(Lane {
+                tenant,
+                rx,
+                hold: None,
+                retry: None,
+                metrics: Arc::clone(&metrics),
+            });
+            handles.insert(
+                tenant,
+                SubmissionHandle {
+                    tenant,
+                    tx,
+                    gate: Arc::clone(&gate),
+                    signal: Arc::clone(&signal),
+                    metrics,
+                },
+            );
+        }
+        if let Some(c) = collector {
+            c.attach_registry(Arc::clone(&registry));
+        }
+        let shared = Arc::new(IngressShared {
+            rt: Arc::clone(&rt),
+            budgets,
+            signal,
+            stop: AtomicBool::new(false),
+            deadline: Mutex::new(None),
+        });
+        let sweep_batch = cfg.sweep_batch;
+        let thread_shared = Arc::clone(&shared);
+        let ingress = std::thread::Builder::new()
+            .name("nexuspp-ingress".into())
+            .spawn(move || ingress::run(&thread_shared, lanes, sweep_batch))
+            .expect("failed to spawn ingress thread");
+        ResolverService {
+            rt,
+            registry,
+            shared,
+            gate,
+            handles,
+            ingress: Mutex::new(Some(ingress)),
+            finished: Mutex::new(None),
+        }
+    }
+
+    /// The ingress endpoint for `tenant` (registered at construction).
+    /// Clone-and-move into as many client threads as needed.
+    pub fn handle(&self, tenant: TenantId) -> Option<SubmissionHandle> {
+        self.handles.get(&tenant).cloned()
+    }
+
+    /// The wrapped runtime (read-side introspection; submitting around
+    /// the ingress defeats the tenant accounting).
+    pub fn runtime(&self) -> &Arc<ShardedRuntime> {
+        &self.rt
+    }
+
+    /// The service's metrics registry: the runtime's groups plus one
+    /// live group per tenant.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Convenience: snapshot the full registry now.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Per-tenant budget ledgers, sorted by tenant.
+    pub fn tenant_counts(&self) -> Vec<(TenantId, TenantCounts)> {
+        self.shared.budgets.all_counts()
+    }
+
+    /// Graceful two-phase shutdown: seal ingress (new `try_submit`s
+    /// refuse with `Closed`), drain every lane through admission, then
+    /// quiesce the runtime and join its workers. Blocks until done;
+    /// every accepted task has executed when it returns.
+    pub fn shutdown(&self) -> ServiceReport {
+        self.shutdown_with(None)
+    }
+
+    /// Shutdown with a hard deadline across both phases. Past the
+    /// deadline, un-admitted ingress is discarded (counted in
+    /// [`ServiceReport::dropped_ingress`] and the per-tenant `dropped`
+    /// counters) and the runtime cancel-finishes queued tasks; bodies
+    /// already running are never interrupted.
+    pub fn shutdown_deadline(&self, deadline: Duration) -> ServiceReport {
+        self.shutdown_with(Some(deadline))
+    }
+
+    fn shutdown_with(&self, deadline: Option<Duration>) -> ServiceReport {
+        let start = Instant::now();
+        if let Some(d) = deadline {
+            *self.shared.deadline.lock() = Some(start + d);
+        }
+        // Phase 1: seal + drain. After seal() returns, every send a
+        // client got Ok for is visible to the ingress drain.
+        self.gate.seal();
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.signal.notify();
+        let stats = {
+            let joined = self.ingress.lock().take().and_then(|h| h.join().ok());
+            let mut finished = self.finished.lock();
+            if let Some(s) = joined {
+                *finished = Some(s);
+            }
+            finished.unwrap_or_default()
+        };
+        // Phase 2: quiesce the runtime within whatever deadline is
+        // left (the drain above consumed part of it).
+        let runtime = match deadline {
+            None => self.rt.shutdown(),
+            Some(d) => self.rt.shutdown_deadline(d.saturating_sub(start.elapsed())),
+        };
+        ServiceReport {
+            graceful: runtime.graceful && stats.dropped == 0,
+            runtime,
+            dropped_ingress: stats.dropped,
+            tenants: self.shared.budgets.all_counts(),
+        }
+    }
+}
+
+impl Drop for ResolverService {
+    fn drop(&mut self) {
+        // Equivalent to an explicit graceful shutdown; a no-op beyond
+        // the runtime's own Drop if one already ran.
+        if self.ingress.lock().is_some() {
+            let _ = self.shutdown();
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The client-facing ingress surface: tasks, errors, handles.
+
+use crate::metrics::TenantMetrics;
+use crossbeam::channel::{Sender, TrySendError};
+use nexuspp_core::{Submission, TenantId};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// One streamed task: a pre-addressed [`Submission`] (the dependence
+/// declaration) plus the closure to run when it becomes ready. Built by
+/// clients, carried through a tenant lane, admitted by the ingress
+/// thread.
+pub struct ServiceTask {
+    pub(crate) sub: Submission,
+    pub(crate) job: Box<dyn FnOnce() + Send + 'static>,
+}
+
+impl ServiceTask {
+    /// Bundle a submission with its body. The submission's `tenant`
+    /// field is overwritten by the handle it is submitted through — the
+    /// handle, not the payload, is the identity.
+    pub fn new(sub: Submission, job: impl FnOnce() + Send + 'static) -> ServiceTask {
+        ServiceTask {
+            sub,
+            job: Box::new(job),
+        }
+    }
+
+    /// The caller tag of the wrapped submission.
+    pub fn tag(&self) -> u64 {
+        self.sub.tag
+    }
+}
+
+impl std::fmt::Debug for ServiceTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceTask")
+            .field("tag", &self.sub.tag)
+            .field("tenant", &self.sub.tenant)
+            .field("params", &self.sub.params.len())
+            .finish()
+    }
+}
+
+/// Why [`SubmissionHandle::try_submit`] handed the task back.
+pub enum IngressError {
+    /// The tenant's lane is full. **Retryable**: the task is returned
+    /// untouched; resubmit after backing off (lane slots free as the
+    /// ingress thread admits work).
+    Backpressure(ServiceTask),
+    /// The service sealed its ingress (shutdown started or completed).
+    /// Not retryable.
+    Closed(ServiceTask),
+}
+
+impl IngressError {
+    /// Recover the task for retry or disposal.
+    pub fn into_task(self) -> ServiceTask {
+        match self {
+            IngressError::Backpressure(t) | IngressError::Closed(t) => t,
+        }
+    }
+
+    /// `true` for [`Backpressure`](Self::Backpressure).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, IngressError::Backpressure(_))
+    }
+}
+
+impl std::fmt::Debug for IngressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngressError::Backpressure(t) => f.debug_tuple("Backpressure").field(t).finish(),
+            IngressError::Closed(t) => f.debug_tuple("Closed").field(t).finish(),
+        }
+    }
+}
+
+/// Wakeup plumbing for the ingress thread: clients notify after a send,
+/// credit guards notify after a retirement (slots freed), shutdown
+/// notifies to deliver the stop flag. The ingress loop pairs waits with
+/// a short timeout, so a lost race costs one tick, never a hang.
+pub(crate) struct IngressSignal {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl IngressSignal {
+    pub(crate) fn new() -> IngressSignal {
+        IngressSignal {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn notify(&self) {
+        let _g = self.lock.lock();
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wait(&self, timeout: Duration) {
+        let mut g = self.lock.lock();
+        let _ = self.cv.wait_for(&mut g, timeout);
+    }
+}
+
+/// The gate `try_submit` threads hold (shared) while checking the
+/// accepting flag and sending. Shutdown flips the flag and then takes
+/// it exclusively once, which linearizes sealing: afterwards, anything
+/// a client managed to enqueue is provably visible to the drain.
+pub(crate) struct IngressGate {
+    accepting: AtomicBool,
+    gate: RwLock<()>,
+}
+
+impl IngressGate {
+    pub(crate) fn new() -> IngressGate {
+        IngressGate {
+            accepting: AtomicBool::new(true),
+            gate: RwLock::new(()),
+        }
+    }
+
+    /// Seal ingress. After this returns, no `try_submit` can succeed,
+    /// and every previously successful send is visible in its lane.
+    pub(crate) fn seal(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        let _w = self
+            .gate
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+
+    pub(crate) fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::SeqCst)
+    }
+}
+
+/// A tenant's ingress endpoint: clone freely, send from any thread.
+/// Submissions stream into a bounded per-tenant lane; the service's
+/// ingress thread admits them in send order.
+#[derive(Clone)]
+pub struct SubmissionHandle {
+    pub(crate) tenant: TenantId,
+    pub(crate) tx: Sender<ServiceTask>,
+    pub(crate) gate: Arc<IngressGate>,
+    pub(crate) signal: Arc<IngressSignal>,
+    pub(crate) metrics: Arc<TenantMetrics>,
+}
+
+impl SubmissionHandle {
+    /// The tenant this handle submits as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Non-blocking submit. `Ok(())` means *accepted*: the task is in
+    /// the tenant's lane and — unless a hard-deadline shutdown drops
+    /// it — will be admitted and retired exactly once. Errors hand the
+    /// task back; see [`IngressError`] for which are retryable.
+    pub fn try_submit(&self, mut task: ServiceTask) -> Result<(), IngressError> {
+        let _r = self
+            .gate
+            .gate
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if !self.gate.is_accepting() {
+            return Err(IngressError::Closed(task));
+        }
+        task.sub.tenant = self.tenant;
+        match self.tx.try_send(task) {
+            Ok(()) => {
+                self.metrics.submitted.inc();
+                self.signal.notify();
+                Ok(())
+            }
+            Err(TrySendError::Full(t)) => {
+                self.metrics.backpressured.inc();
+                Err(IngressError::Backpressure(t))
+            }
+            Err(TrySendError::Disconnected(t)) => Err(IngressError::Closed(t)),
+        }
+    }
+
+    /// Convenience retry loop around [`try_submit`](Self::try_submit):
+    /// backs off (yield, then 100µs sleeps) while backpressured.
+    /// Returns the task only if ingress closed.
+    pub fn submit_blocking(&self, task: ServiceTask) -> Result<(), ServiceTask> {
+        let mut task = task;
+        let mut attempts = 0u32;
+        loop {
+            match self.try_submit(task) {
+                Ok(()) => return Ok(()),
+                Err(IngressError::Closed(t)) => return Err(t),
+                Err(IngressError::Backpressure(t)) => {
+                    task = t;
+                    if attempts < 16 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(Duration::from_micros(100));
+                    }
+                    attempts = attempts.saturating_add(1);
+                }
+            }
+        }
+    }
+}

@@ -1200,6 +1200,7 @@ mod tests {
             fptr: 1,
             tag: 0,
             priority: nexuspp_core::Priority::Normal,
+            tenant: nexuspp_core::TenantId::NONE,
             params: vec![Param::input(0x40, 4), Param::output(0x40, 4)],
         };
         assert_eq!(

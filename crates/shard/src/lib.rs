@@ -35,6 +35,11 @@
 //!   and a CAS-claimed drainer hands them to the finish report (see
 //!   [`WakeMode`]). This is what `ShardedRuntime` in `nexuspp-runtime`
 //!   executes on.
+//! * [`budget`] — [`TenantBudgets`]: per-tenant in-flight admission caps
+//!   layered above [`ShardCapacity`](nexuspp_core::ShardCapacity), the
+//!   accounting a multi-tenant ingress (`nexuspp-service`) meters
+//!   clients with. Denials are retryable client-side signals, never
+//!   parks.
 //! * [`stress`] — the wake-stress harness: the wide fan-in workload
 //!   (many finishers releasing dependents homed on one shard) driven
 //!   straight through a [`ShardDispatcher`] by real threads, shared by
@@ -51,10 +56,12 @@
 
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod dispatch;
 pub mod engine;
 pub mod stress;
 
+pub use budget::{BudgetError, TenantBudgets, TenantCounts};
 pub use dispatch::{
     CapacityCounts, FinishReport, ShardDispatcher, SubmitResult, TaskTicket, WakeCounts, WakeMode,
 };

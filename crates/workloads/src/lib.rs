@@ -30,6 +30,10 @@
 //!   burst of dependents homed on one shard) that concentrates kick-off
 //!   traffic on a single wake list, driving the locked-vs-lock-free wake
 //!   delivery comparison (`repro -- wakes`),
+//! * [`service_stress`] — per-tenant submission programs (serial chains
+//!   that occupy admission budget plus immediately-ready independents)
+//!   over tenant-scoped address spaces, the client-side workload for the
+//!   streaming `ResolverService` ingress (`repro -- serve`),
 //! * [`version_stress`] — rename-heavy declarative programs (write-only
 //!   version chains plus a halo-exchange stencil) built through the
 //!   resource-versioning frontend, quantifying how much parallelism
@@ -43,6 +47,7 @@ pub mod capacity_stress;
 pub mod gaussian;
 pub mod grid;
 pub mod random;
+pub mod service_stress;
 pub mod sharded_stress;
 pub mod steal_stress;
 pub mod stress;
@@ -54,6 +59,7 @@ pub mod wake_stress;
 pub use capacity_stress::CapacityStressSpec;
 pub use gaussian::{GaussianSource, GaussianSpec};
 pub use grid::{GridPattern, GridSpec};
+pub use service_stress::ServiceStressSpec;
 pub use sharded_stress::ShardedStressSpec;
 pub use steal_stress::StealStressSpec;
 pub use timing::H264Timing;

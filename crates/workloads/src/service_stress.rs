@@ -1,0 +1,187 @@
+//! The service-stress workload: per-tenant submission programs for the
+//! streaming ingress.
+//!
+//! Each tenant gets its own *program* — a sequence of pre-addressed
+//! [`Submission`]s in program order — over a tenant-scoped address
+//! space (tenant id in the high bits), so tenants are independent by
+//! construction and any cross-tenant serialization observed in a run is
+//! the service's fault, never the workload's. Within a tenant the
+//! program mixes the two shapes that stress an admission layer
+//! differently:
+//!
+//! * **chains** — serial `inout` reuse of per-chain cells: tasks park
+//!   behind their predecessors, *occupying budget* without being
+//!   runnable, which is what pushes a tenant into its in-flight cap;
+//! * **independents** — fresh-address writers sprinkled every
+//!   `indep_every` steps: immediately-ready work that keeps workers
+//!   busy and retires quickly, exercising the charge/credit churn.
+//!
+//! Submission order is round-robin across a tenant's chains by depth
+//! (like the capacity stressor), so the stream wants `≈ chains`
+//! resident tasks at once per tenant — size budgets *below* that to
+//! exercise budget denial, lane fill, and client backpressure.
+
+use nexuspp_core::{Submission, TaskBuilder, TenantId};
+
+/// Parameters of one service-stress run (identical program shape per
+/// tenant, disjoint address spaces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStressSpec {
+    /// Concurrent tenants (ids `1..=tenants`).
+    pub tenants: u32,
+    /// Serial chains per tenant.
+    pub chains: u32,
+    /// Tasks per chain.
+    pub chain_len: u32,
+    /// Every `indep_every`-th position per chain also emits an
+    /// independent fresh-address task. 0 disables independents.
+    pub indep_every: u32,
+}
+
+impl ServiceStressSpec {
+    /// The stress shape the `serve` experiment and CI gate run: 4
+    /// tenants, chains sized to overrun typical budgets.
+    pub fn pressure() -> ServiceStressSpec {
+        ServiceStressSpec {
+            tenants: 4,
+            chains: 8,
+            chain_len: 32,
+            indep_every: 4,
+        }
+    }
+
+    /// A smoke-sized variant.
+    pub fn quick() -> ServiceStressSpec {
+        ServiceStressSpec {
+            tenants: 4,
+            chains: 4,
+            chain_len: 8,
+            indep_every: 2,
+        }
+    }
+
+    /// Tasks in one tenant's program.
+    pub fn tasks_per_tenant(&self) -> u64 {
+        let chained = self.chains as u64 * self.chain_len as u64;
+        let indep = if self.indep_every == 0 {
+            0
+        } else {
+            self.chains as u64 * (self.chain_len as u64 / self.indep_every as u64)
+        };
+        chained + indep
+    }
+
+    /// Total tasks across all tenants.
+    pub fn task_count(&self) -> u64 {
+        self.tenants as u64 * self.tasks_per_tenant()
+    }
+
+    /// One tenant's program, in program order. Addresses are scoped by
+    /// `tenant` in bits 40+, so programs of distinct tenants touch
+    /// disjoint dependence-table keys.
+    pub fn program(&self, tenant: TenantId) -> Vec<Submission> {
+        assert!(self.chains >= 1 && self.chain_len >= 1);
+        let base = (1 + tenant.0 as u64) << 40;
+        let cell = |chain: u32| base | (chain as u64 * 64);
+        let mut fresh = base | (1 << 32);
+        let mut out = Vec::with_capacity(self.tasks_per_tenant() as usize);
+        let mut tag = 0u64;
+        for depth in 0..self.chain_len {
+            for chain in 0..self.chains {
+                out.push(
+                    TaskBuilder::new(0x5E5E)
+                        .tag(tag)
+                        .tenant(tenant)
+                        .read_writes(cell(chain), 16)
+                        .build(),
+                );
+                tag += 1;
+                if self.indep_every > 0 && depth % self.indep_every == self.indep_every - 1 {
+                    out.push(
+                        TaskBuilder::new(0x5E5F)
+                            .tag(tag)
+                            .tenant(tenant)
+                            .writes(fresh, 16)
+                            .build(),
+                    );
+                    fresh += 64;
+                    tag += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Every tenant's program, keyed by tenant id (`1..=tenants`).
+    pub fn programs(&self) -> Vec<(TenantId, Vec<Submission>)> {
+        (1..=self.tenants)
+            .map(|t| (TenantId(t), self.program(TenantId(t))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nexuspp_core::oracle::OracleResolver;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn tenant_programs_are_address_disjoint_and_tagged() {
+        let spec = ServiceStressSpec::pressure();
+        let programs = spec.programs();
+        assert_eq!(programs.len(), 4);
+        let mut seen = BTreeSet::new();
+        for (tenant, prog) in &programs {
+            assert_eq!(prog.len() as u64, spec.tasks_per_tenant());
+            let addrs: BTreeSet<u64> = prog
+                .iter()
+                .flat_map(|s| s.params.iter().map(|p| p.addr))
+                .collect();
+            for a in &addrs {
+                assert!(seen.insert(*a), "address {a:#x} shared across tenants");
+            }
+            assert!(prog.iter().all(|s| s.tenant == *tenant));
+            assert!(prog.iter().all(|s| s.validate().is_ok()));
+        }
+    }
+
+    #[test]
+    fn chains_serialize_but_independents_are_ready_at_once() {
+        let spec = ServiceStressSpec {
+            tenants: 1,
+            chains: 3,
+            chain_len: 8,
+            indep_every: 2,
+        };
+        let prog = spec.program(TenantId(1));
+        let mut oracle = OracleResolver::new();
+        let mut ready_at_submit = 0u32;
+        for s in &prog {
+            let (_, ready) = oracle.submit(&s.params);
+            if ready {
+                ready_at_submit += 1;
+            }
+        }
+        // Chain heads (3) plus every independent are immediately ready;
+        // the rest park behind their chain predecessor.
+        let independents = spec.chains * (spec.chain_len / spec.indep_every);
+        assert_eq!(ready_at_submit, spec.chains + independents);
+        // And the whole program drains.
+        let mut ready = oracle.ready_set();
+        let mut done = 0u64;
+        while let Some(id) = ready.pop() {
+            done += 1;
+            ready.extend(oracle.finish(id));
+        }
+        assert_eq!(done, spec.tasks_per_tenant());
+        assert!(oracle.all_done());
+    }
+
+    #[test]
+    fn programs_are_reproducible() {
+        let a = ServiceStressSpec::pressure().programs();
+        let b = ServiceStressSpec::pressure().programs();
+        assert_eq!(a, b);
+    }
+}

@@ -33,6 +33,10 @@
 //! * [`runtime`] — a real threaded StarSs-like runtime built on the same
 //!   resolution semantics (single-engine and sharded), scheduling
 //!   through [`sched`],
+//! * [`service`] — the runtime as a persistent facility: a streaming,
+//!   multi-tenant ingress ([`service::ResolverService`]) with bounded
+//!   per-tenant lanes, admission budgets, live per-tenant metrics, and
+//!   two-phase graceful shutdown,
 //! * [`baseline`] — the original-Nexus limits model and a software-RTS
 //!   timing model.
 //!
@@ -157,6 +161,38 @@
 //! for shard in srt.capacity_counts() {
 //!     assert_eq!(shard.stalls_observed, shard.retries_resolved);
 //! }
+//!
+//! // The resolver as a persistent, multi-tenant facility: streaming
+//! // ingress with per-tenant admission budgets and two-phase shutdown.
+//! use nexuspp::core::TaskBuilder;
+//! use nexuspp::service::{ResolverService, ServiceConfig, ServiceTask, TenantId};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! let svc = ResolverService::start(
+//!     ServiceConfig::new(2, 2)
+//!         .tenant(TenantId(1), 8)
+//!         .tenant(TenantId(2), 8),
+//! );
+//! let ran = Arc::new(AtomicU64::new(0));
+//! for tenant in 1..=2u32 {
+//!     let h = svc.handle(TenantId(tenant)).unwrap();
+//!     for i in 0..16u64 {
+//!         let sub = TaskBuilder::new(0x300)
+//!             .tag(i)
+//!             .read_writes(((tenant as u64) << 32) | (i % 4), 8)
+//!             .build();
+//!         let ran2 = Arc::clone(&ran);
+//!         h.submit_blocking(ServiceTask::new(sub, move || {
+//!             ran2.fetch_add(1, Ordering::AcqRel);
+//!         }))
+//!         .expect("service accepting");
+//!     }
+//! }
+//! let report = svc.shutdown(); // seal, drain, quiesce, join
+//! assert!(report.graceful);
+//! assert_eq!(ran.load(Ordering::Acquire), 32);
+//! assert_eq!(svc.metrics_snapshot().get("tenant1", "executed"), Some(16));
 //! ```
 
 pub use nexuspp_baseline as baseline;
@@ -167,6 +203,7 @@ pub use nexuspp_hw as hw;
 pub use nexuspp_obs as obs;
 pub use nexuspp_runtime as runtime;
 pub use nexuspp_sched as sched;
+pub use nexuspp_service as service;
 pub use nexuspp_shard as shard;
 pub use nexuspp_taskmachine as taskmachine;
 pub use nexuspp_trace as trace;

@@ -988,6 +988,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(PartialEq, Eq)]
@@ -1004,9 +1005,66 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was queued (senders may still produce one).
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::try_send`]; carries the unsent value
+    /// back to the caller.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recover the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether this rejection was capacity backpressure (retryable).
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "TrySendError::Full(..)",
+                TrySendError::Disconnected(_) => "TrySendError::Disconnected(..)",
+            })
+        }
+    }
+
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// `Some(n)` ⇒ at most `n` queued messages (send-side
+        /// backpressure); `None` ⇒ unbounded.
+        cap: Option<usize>,
         ready: Condvar,
+        /// Senders blocked on a full bounded channel wait here; receivers
+        /// notify it as they pop.
+        space: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -1021,11 +1079,12 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Create an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
+            cap,
             ready: Condvar::new(),
+            space: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -1037,27 +1096,73 @@ pub mod channel {
         )
     }
 
-    /// Create a bounded channel. The capacity is accepted for API
-    /// compatibility; this stand-in never applies send-side backpressure
-    /// (a strict superset of the bounded behaviour for the in-tree uses,
-    /// which only ever send a bounded number of messages).
-    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-        unbounded()
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(None)
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    /// [`Sender::send`] blocks while full; [`Sender::try_send`] reports
+    /// [`TrySendError::Full`] instead — the backpressure primitive the
+    /// service-layer ingress queues rely on. `cap == 0` is rounded up to
+    /// 1 (this stand-in has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_cap(Some(cap.max(1)))
     }
 
     impl<T> Sender<T> {
-        /// Enqueue a message, waking one waiting receiver.
+        /// Enqueue a message, waking one waiting receiver. On a full
+        /// bounded channel this blocks until a receiver makes room.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if self.shared.receivers.load(Ordering::Acquire) == 0 {
-                return Err(SendError(value));
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.cap {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.shared.space.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => {
+                        q.push_back(value);
+                        drop(q);
+                        self.shared.ready.notify_one();
+                        return Ok(());
+                    }
+                }
             }
+        }
+
+        /// Enqueue a message without blocking: a full bounded channel
+        /// hands the value back as [`TrySendError::Full`].
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.cap {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
             self.shared
                 .queue
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .push_back(value);
-            self.shared.ready.notify_one();
-            Ok(())
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -1067,6 +1172,8 @@ pub mod channel {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -1074,6 +1181,61 @@ pub mod channel {
                 }
                 q = self.shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Pop a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.shared.space.notify_one();
+                return Ok(v);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Block until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.space.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = match deadline.checked_duration_since(Instant::now()) {
+                    Some(left) if !left.is_zero() => left,
+                    _ => return Err(RecvTimeoutError::Timeout),
+                };
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, left)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -1107,7 +1269,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake every sender blocked on a full
+                // bounded channel so it can observe disconnection.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -1152,6 +1318,64 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_and_disconnected() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_recv(), Ok(3));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn bounded_try_send_reports_full_and_frees_on_recv() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_receiver_pops() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn blocked_sender_observes_receiver_disconnect() {
+            let (tx, rx) = bounded::<u8>(1);
+            tx.send(1).unwrap();
+            let h = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(rx);
+            assert_eq!(h.join().unwrap(), Err(SendError(2)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }

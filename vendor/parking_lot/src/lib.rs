@@ -98,6 +98,24 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Block until notified or `timeout` elapses, releasing the guard's
+    /// lock while waiting. Returns whether the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard already waiting");
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -108,6 +126,19 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
