@@ -22,6 +22,7 @@
 //!   frontend   version renaming vs raw addressing    (extension)
 //!   observe    lifecycle tracing & critical path     (extension)
 //!   serve      multi-tenant resolver service         (extension)
+//!   incr       incremental re-execution, dirty cones (extension)
 //!   all        everything above
 //!
 //! flags:
@@ -43,7 +44,7 @@ use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|observe|serve|all> \
+        "usage: repro <table2|table4|fig4|fig6|fig7|fig8|headline|nexus-vs|rts|ablate|video|shards|steal|capacity|wakes|frontend|observe|serve|incr|all> \
          [--full] [--quick] [--csv DIR]\n       \
          repro watch [--quick] [--csv DIR] [--frames N]\n       \
          repro bench-diff [--threshold PCT] [--strict] OLD.json NEW.json"
@@ -214,6 +215,7 @@ fn main() {
         "frontend" => run(vec![experiments::frontend(&opts)], &opts),
         "observe" => run(vec![experiments::observe(&opts)], &opts),
         "serve" => run(vec![experiments::serve(&opts)], &opts),
+        "incr" => run(vec![experiments::incr(&opts)], &opts),
         "all" => run(experiments::all(&opts), &opts),
         _ => usage(),
     }

@@ -31,7 +31,11 @@
 //! * [`submit`] — the unified submission surface: the [`SubmitError`]
 //!   enum every `submit*` entry point reports (capacity-full, pool-full,
 //!   bad-params) and the [`TaskBuilder`]/[`Submission`] pair that is the
-//!   blessed way to construct a task.
+//!   blessed way to construct a task,
+//! * [`testsupport`] — shared watchdog/deadline-poll helpers for the
+//!   workspace's integration tests (paths that regress by *hanging*
+//!   need a watchdog, and cross-thread rendezvous needs deterministic
+//!   polling instead of sleeps).
 
 pub mod config;
 pub mod cost;
@@ -41,6 +45,7 @@ pub mod pool;
 pub mod priority;
 pub mod submit;
 pub mod table;
+pub mod testsupport;
 
 pub use config::{NexusConfig, ShardCapacity};
 pub use cost::OpCost;

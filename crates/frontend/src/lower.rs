@@ -60,8 +60,18 @@ impl Lowering {
         }
     }
 
-    /// The physical address of a (resource, version) pair.
-    fn addr(self, r: ResourceId, v: Version) -> u64 {
+    /// The physical address of a (resource, version) pair — the stable
+    /// identity contract between the frontend and every consumer that
+    /// re-submits *parts* of a program (the incremental re-execution
+    /// layer in `nexuspp-incr` builds partial streams against exactly
+    /// this mapping, so cached producers and re-run consumers agree on
+    /// addresses across edits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` exceeds the per-resource version budget
+    /// ([`RESOURCE_STRIDE`]` / `[`VERSION_STRIDE`] versions).
+    pub fn address(self, r: ResourceId, v: Version) -> u64 {
         assert!(
             (v as u64) < RESOURCE_STRIDE / VERSION_STRIDE,
             "resource {} exceeded {} versions",
@@ -181,10 +191,10 @@ impl Program {
                 let t = &decls[i];
                 let mut b = TaskBuilder::new(t.fptr).tag(t.tag).priority(t.priority);
                 for &(r, v) in &t.reads {
-                    b = b.reads(lowering.addr(r, v), self.resource_size(r));
+                    b = b.reads(lowering.address(r, v), self.resource_size(r));
                 }
                 for &(r, v) in &t.writes {
-                    b = b.writes(lowering.addr(r, v), self.resource_size(r));
+                    b = b.writes(lowering.address(r, v), self.resource_size(r));
                 }
                 b.build()
             })

@@ -1,0 +1,204 @@
+//! Property suite for the Pearce–Kelly dynamic topological order:
+//! random interleaved node/edge insertions and deletions, checked after
+//! **every** operation against an independent model graph and a fresh
+//! Kahn topological sort.
+//!
+//! The invariants, per operation:
+//!
+//! 1. the maintained node and edge sets equal the model's,
+//! 2. the maintained order is a valid topological order of the model
+//!    (checked positionally against the model's edges, not via the
+//!    structure's own `is_valid`),
+//! 3. a fresh Kahn sort of the model succeeds (the graph stayed
+//!    acyclic),
+//! 4. cycle-creating insertions are rejected with the *entire* state —
+//!    nodes, edges, and order validity — unchanged,
+//! 5. order-respecting insertions and all deletions cost **zero**
+//!    maintenance ops (the locality property that makes the structure
+//!    worth having).
+
+use nexuspp_incr::order::{DynamicTopo, OrderError};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One generated mutation. Node ids are drawn from a small universe so
+/// deletions and cycle attempts actually hit live structure.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    AddNode(u64),
+    RemoveNode(u64),
+    AddEdge(u64, u64),
+    RemoveEdge(u64, u64),
+}
+
+fn op_strategy(universe: u64) -> impl Strategy<Value = Op> {
+    let n = 0..universe;
+    prop_oneof![
+        n.clone().prop_map(Op::AddNode),
+        n.clone().prop_map(Op::RemoveNode),
+        // Edge insertions twice, so graphs grow dense enough to force
+        // real reorder and cycle-rejection traffic.
+        (n.clone(), n.clone()).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        (n.clone(), n.clone()).prop_map(|(a, b)| Op::AddEdge(a, b)),
+        (n.clone(), n).prop_map(|(a, b)| Op::RemoveEdge(a, b)),
+    ]
+}
+
+/// The independent model: plain node/edge sets with from-scratch
+/// reachability and Kahn's algorithm.
+#[derive(Default)]
+struct Model {
+    nodes: BTreeSet<u64>,
+    edges: BTreeSet<(u64, u64)>,
+}
+
+impl Model {
+    /// Does `from` reach `to` through current edges (reflexively)?
+    fn reaches(&self, from: u64, to: u64) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            stack.extend(self.edges.range((n, 0)..=(n, u64::MAX)).map(|&(_, t)| t));
+        }
+        false
+    }
+
+    /// A fresh Kahn sort; `None` if the graph is cyclic.
+    fn kahn(&self) -> Option<Vec<u64>> {
+        let mut indeg: BTreeMap<u64, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
+        for &(_, t) in &self.edges {
+            *indeg.get_mut(&t).expect("edge endpoints are nodes") += 1;
+        }
+        let mut ready: Vec<u64> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut out = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = ready.pop() {
+            out.push(n);
+            for &(_, t) in self.edges.range((n, 0)..=(n, u64::MAX)) {
+                let d = indeg.get_mut(&t).expect("endpoint");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(t);
+                }
+            }
+        }
+        (out.len() == self.nodes.len()).then_some(out)
+    }
+}
+
+/// Invariants 1–3 after any committed operation.
+fn check_consistent(t: &DynamicTopo<u64>, m: &Model) {
+    assert_eq!(t.nodes().into_iter().collect::<BTreeSet<u64>>(), m.nodes);
+    assert_eq!(
+        t.edges().into_iter().collect::<BTreeSet<(u64, u64)>>(),
+        m.edges
+    );
+    let order = t.topo_order();
+    let pos: HashMap<u64, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    for &(f, to) in &m.edges {
+        assert!(
+            pos[&f] < pos[&to],
+            "maintained order violates model edge {f} -> {to}: {order:?}"
+        );
+    }
+    assert!(m.kahn().is_some(), "model graph must stay acyclic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn order_tracks_model_through_random_mutations(
+        ops in prop::collection::vec(op_strategy(12), 1..=120)
+    ) {
+        let mut t = DynamicTopo::new();
+        let mut m = Model::default();
+        for op in ops {
+            match op {
+                Op::AddNode(n) => {
+                    let added = t.add_node(n);
+                    prop_assert_eq!(added, m.nodes.insert(n));
+                }
+                Op::RemoveNode(n) => {
+                    let removed = t.remove_node(n);
+                    prop_assert_eq!(removed, m.nodes.remove(&n));
+                    m.edges.retain(|&(f, to)| f != n && to != n);
+                }
+                Op::AddEdge(f, to) => {
+                    let ops_before = t.ops();
+                    let missing = !m.nodes.contains(&f) || !m.nodes.contains(&to);
+                    let cycle = !missing && m.reaches(to, f); // includes f == to
+                    let respected = !missing
+                        && !m.edges.contains(&(f, to))
+                        && t.is_before(f, to);
+                    match t.add_edge(f, to) {
+                        Ok(fresh) => {
+                            prop_assert!(!missing && !cycle);
+                            prop_assert_eq!(fresh, m.edges.insert((f, to)));
+                            if respected {
+                                prop_assert_eq!(
+                                    t.ops(), ops_before,
+                                    "order-respecting insertion must be free"
+                                );
+                            }
+                        }
+                        Err(OrderError::MissingNode(_)) => prop_assert!(missing),
+                        Err(OrderError::Cycle { .. }) => {
+                            prop_assert!(cycle, "spurious cycle rejection for {f} -> {to}");
+                            // Invariant 4: rejection mutated nothing.
+                        }
+                    }
+                }
+                Op::RemoveEdge(f, to) => {
+                    let ops_before = t.ops();
+                    let removed = t.remove_edge(f, to);
+                    prop_assert_eq!(removed, m.edges.remove(&(f, to)));
+                    prop_assert_eq!(t.ops(), ops_before, "deletions must be free");
+                }
+            }
+            check_consistent(&t, &m);
+        }
+    }
+
+    /// Violating insertions touch only the affected region: on a long
+    /// chain with one random back-edge attempt, maintenance work is
+    /// bounded by the span between the endpoints, never the chain.
+    #[test]
+    fn maintenance_work_is_bounded_by_the_affected_region(
+        len in 10u64..200,
+        lo in 0u64..50,
+        span in 1u64..50,
+    ) {
+        let mut t = DynamicTopo::new();
+        for k in 0..len {
+            t.add_node(k);
+        }
+        for k in 0..len - 1 {
+            t.add_edge(k, k + 1).unwrap();
+        }
+        prop_assert_eq!(t.ops(), 0);
+        let lo = lo % (len - 1);
+        let hi = (lo + span).min(len - 1);
+        // Back-edge hi -> lo closes a cycle through the chain: must be
+        // rejected, and discovery must stop inside [lo, hi].
+        if hi > lo {
+            prop_assert!(t.add_edge(hi, lo).is_err());
+            prop_assert!(
+                t.ops() <= hi - lo + 2,
+                "discovery escaped the affected region: ops {} for span {}",
+                t.ops(),
+                hi - lo
+            );
+            prop_assert!(t.is_valid());
+        }
+    }
+}

@@ -5,29 +5,10 @@
 //! and shutdown must be clean while a submitter is parked on a full
 //! shard.
 
+use nexuspp_core::testsupport::with_watchdog;
 use nexuspp_runtime::stress::drive_capacity_stress;
 use nexuspp_runtime::{Region, ShardCapacity, ShardedRuntime};
 use std::sync::Arc;
-use std::time::Duration;
-
-/// Run `f` on its own thread and fail loudly if it does not complete in
-/// `secs` — a parked submitter that never resumes hangs forever without
-/// this.
-fn with_watchdog(secs: u64, name: String, f: impl FnOnce() + Send + 'static) {
-    let (tx, rx) = std::sync::mpsc::channel::<()>();
-    let h = std::thread::spawn(move || {
-        f();
-        let _ = tx.send(());
-    });
-    use std::sync::mpsc::RecvTimeoutError;
-    match rx.recv_timeout(Duration::from_secs(secs)) {
-        // Completed (or panicked — join re-raises the panic either way).
-        Ok(()) | Err(RecvTimeoutError::Disconnected) => h.join().unwrap(),
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("{name}: watchdog expired — bounded submission deadlocked")
-        }
-    }
-}
 
 #[test]
 fn capacity_one_stress_is_deadlock_free_for_every_worker_count() {
@@ -60,7 +41,7 @@ fn capacity_one_stress_is_deadlock_free_for_every_worker_count() {
 
 #[test]
 fn capacity_two_stress_survives_wider_tables_and_more_chains() {
-    with_watchdog(120, "capacity-2 stress".into(), || {
+    with_watchdog(120, "capacity-2 stress", || {
         let rt = ShardedRuntime::with_capacity(4, 2, ShardCapacity::Bounded(2));
         drive_capacity_stress(&rt, 16, 25);
         for c in rt.capacity_counts() {
@@ -82,7 +63,7 @@ fn unbounded_runtime_reports_zero_stalls() {
 
 #[test]
 fn shutdown_is_clean_while_a_submitter_is_parked() {
-    with_watchdog(120, "parked-submitter shutdown".into(), || {
+    with_watchdog(120, "parked-submitter shutdown", || {
         // One shard, capacity 1: a gate task holds the only slot (its
         // closure blocks on a channel), so a second submission must park.
         let rt = Arc::new(ShardedRuntime::with_capacity(

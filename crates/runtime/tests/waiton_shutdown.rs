@@ -14,29 +14,13 @@
 //! `shutdown_deadline()` past its deadline cancel-finishes queued
 //! bodies exactly once (executed + cancelled == submitted).
 
+use nexuspp_core::testsupport::with_watchdog;
 use nexuspp_runtime::{Runtime, SchedulerKind, ShardedRuntime};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 const KINDS: [SchedulerKind; 2] = [SchedulerKind::MutexQueue, SchedulerKind::WorkStealing];
-
-/// Run `f` on its own thread and fail loudly if it does not complete in
-/// `secs` — a waiter that never wakes hangs forever without this.
-fn with_watchdog(secs: u64, name: String, f: impl FnOnce() + Send + 'static) {
-    let (tx, rx) = std::sync::mpsc::channel::<()>();
-    let h = std::thread::spawn(move || {
-        f();
-        let _ = tx.send(());
-    });
-    use std::sync::mpsc::RecvTimeoutError;
-    match rx.recv_timeout(Duration::from_secs(secs)) {
-        Ok(()) | Err(RecvTimeoutError::Disconnected) => h.join().unwrap(),
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("{name}: watchdog expired — wait/shutdown deadlocked")
-        }
-    }
-}
 
 /// A chain of `len` inout tasks over one region; returns the counter
 /// every task bumps.
@@ -192,7 +176,7 @@ fn graceful_shutdown_reports_everything_executed() {
 
 #[test]
 fn sharded_hard_deadline_splits_executed_and_cancelled_exactly_once() {
-    with_watchdog(60, "sharded deadline split".into(), || {
+    with_watchdog(60, "sharded deadline split", || {
         let rt = ShardedRuntime::new(1, 4);
         let region = rt.region(vec![0u64]);
         let gate = Arc::new(AtomicBool::new(false));

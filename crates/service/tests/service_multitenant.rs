@@ -1,28 +1,12 @@
 //! Multi-tenant service behavior: admission isolation, client-visible
 //! backpressure, and both shutdown phases' exactly-once accounting.
 
+use nexuspp_core::testsupport::with_watchdog;
 use nexuspp_core::TaskBuilder;
 use nexuspp_service::{IngressError, ResolverService, ServiceConfig, ServiceTask, TenantId};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Run `f` on its own thread and fail loudly if it does not complete in
-/// `secs` — a stuck drain or un-woken waiter hangs forever otherwise.
-fn with_watchdog(secs: u64, name: &str, f: impl FnOnce() + Send + 'static) {
-    let (tx, rx) = std::sync::mpsc::channel::<()>();
-    let h = std::thread::spawn(move || {
-        f();
-        let _ = tx.send(());
-    });
-    use std::sync::mpsc::RecvTimeoutError;
-    match rx.recv_timeout(Duration::from_secs(secs)) {
-        Ok(()) | Err(RecvTimeoutError::Disconnected) => h.join().unwrap(),
-        Err(RecvTimeoutError::Timeout) => {
-            panic!("{name}: watchdog expired — service deadlocked")
-        }
-    }
-}
 
 /// Tenant-scoped address: tenants touch disjoint address spaces, so
 /// cross-tenant tasks are independent by construction.

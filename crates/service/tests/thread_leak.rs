@@ -1,9 +1,10 @@
 //! Thread-leak check for the full service lifecycle, in its own test
 //! binary so no sibling test's threads perturb the process count.
 
+use nexuspp_core::testsupport::wait_until;
 use nexuspp_core::TaskBuilder;
 use nexuspp_service::{ResolverService, ServiceConfig, ServiceTask, TenantId};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Live threads in this process (Linux: one entry per task).
 fn thread_count() -> usize {
@@ -38,17 +39,10 @@ fn service_lifecycle_leaks_no_threads() {
         drop(svc);
         // Worker + ingress threads must all be joined; give the OS a
         // moment to reap, then insist on the baseline.
-        let deadline = Instant::now() + Duration::from_secs(10);
-        loop {
-            let now = thread_count();
-            if now <= baseline {
-                break;
-            }
-            assert!(
-                Instant::now() < deadline,
-                "round {round}: {now} threads alive, baseline {baseline}"
-            );
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        wait_until(
+            Duration::from_secs(10),
+            &format!("round {round}: thread count back to baseline {baseline}"),
+            || thread_count() <= baseline,
+        );
     }
 }

@@ -34,6 +34,10 @@
 //!   that occupy admission budget plus immediately-ready independents)
 //!   over tenant-scoped address spaces, the client-side workload for the
 //!   streaming `ResolverService` ingress (`repro -- serve`),
+//! * [`incr_edits`] — an editable halo-exchange stencil for the
+//!   incremental re-execution layer (`crates/incr`): build once, apply
+//!   deterministic initial-contents edit batches, and measure how much
+//!   of the 1000-task graph each edit's light-cone actually re-runs,
 //! * [`version_stress`] — rename-heavy declarative programs (write-only
 //!   version chains plus a halo-exchange stencil) built through the
 //!   resource-versioning frontend, quantifying how much parallelism
@@ -46,6 +50,7 @@ pub mod analysis;
 pub mod capacity_stress;
 pub mod gaussian;
 pub mod grid;
+pub mod incr_edits;
 pub mod random;
 pub mod service_stress;
 pub mod sharded_stress;
@@ -59,6 +64,7 @@ pub mod wake_stress;
 pub use capacity_stress::CapacityStressSpec;
 pub use gaussian::{GaussianSource, GaussianSpec};
 pub use grid::{GridPattern, GridSpec};
+pub use incr_edits::IncrStencilSpec;
 pub use service_stress::ServiceStressSpec;
 pub use sharded_stress::ShardedStressSpec;
 pub use steal_stress::StealStressSpec;

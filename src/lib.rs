@@ -17,6 +17,11 @@
 //!   mints a logical version, and lowering renames versions onto
 //!   distinct addresses so WAR/WAW false dependencies vanish before
 //!   the hardware ever sees them,
+//! * [`incr`] — the incremental re-execution layer: an editable,
+//!   memoized task program ([`incr::IncrementalProgram`]) over the
+//!   frontend — apply edits, and a Pearce–Kelly dynamic topological
+//!   order plus a content-hash memo store re-run only the invalidated
+//!   cone on any backend,
 //! * [`shard`] — sharded resolution: N address-partitioned engines
 //!   composed into one logically-equivalent resolver, with a batched
 //!   submission front-end, a per-shard-locked concurrent dispatcher,
@@ -200,6 +205,7 @@ pub use nexuspp_core as core;
 pub use nexuspp_desim as desim;
 pub use nexuspp_frontend as frontend;
 pub use nexuspp_hw as hw;
+pub use nexuspp_incr as incr;
 pub use nexuspp_obs as obs;
 pub use nexuspp_runtime as runtime;
 pub use nexuspp_sched as sched;
